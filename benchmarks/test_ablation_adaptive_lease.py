@@ -1,0 +1,98 @@
+"""Ablation G — adaptive leases: server state budget vs validation load.
+
+The adaptive-leases follow-up to Section 6: the server tunes the lease
+duration itself, shrinking it when site-list storage exceeds a budget
+and growing it when state is cheap.  We sweep the budget on a SASK-like
+workload and check that (a) end-of-run storage tracks the budget and
+(b) tighter budgets cost proportionally more If-Modified-Since traffic
+— automation of the Ablation C trade-off.
+"""
+
+import pytest
+from conftest import write_results
+
+from repro import (
+    DAYS,
+    ExperimentConfig,
+    PROFILES,
+    RngRegistry,
+    generate_trace,
+    invalidation,
+    run_experiment,
+)
+from repro.core import adaptive_lease
+
+SWEEP_SCALE = 0.15
+BUDGETS = [2 * 1024, 8 * 1024, 32 * 1024]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    trace = generate_trace(PROFILES["SASK"].scaled(SWEEP_SCALE), RngRegistry(seed=42))
+    lifetime = 14 * DAYS
+    rows = []
+    for budget in BUDGETS:
+        result = run_experiment(
+            ExperimentConfig(
+                trace=trace,
+                protocol=adaptive_lease(state_budget_bytes=budget),
+                mean_lifetime=lifetime,
+            )
+        )
+        rows.append((budget, result))
+    unbounded = run_experiment(
+        ExperimentConfig(
+            trace=trace, protocol=invalidation(), mean_lifetime=lifetime
+        )
+    )
+    return rows, unbounded
+
+
+def render(rows, unbounded) -> str:
+    lines = ["Ablation G: adaptive leases, state budget sweep (SASK-like)"]
+    lines.append(
+        f"{'budget B':>10s}{'storage B':>11s}{'entries':>9s}{'IMS':>8s}"
+        f"{'invalidations':>15s}{'violations':>12s}"
+    )
+    for budget, result in rows:
+        lines.append(
+            f"{budget:>10d}{result.sitelist_storage_bytes:>11d}"
+            f"{result.sitelist_entries:>9d}{result.ims:>8d}"
+            f"{result.invalidations:>15d}{result.violations:>12d}"
+        )
+    lines.append(
+        f"{'unbounded':>10s}{unbounded.sitelist_storage_bytes:>11d}"
+        f"{unbounded.sitelist_entries:>9d}{unbounded.ims:>8d}"
+        f"{unbounded.invalidations:>15d}{unbounded.violations:>12d}"
+    )
+    return "\n".join(lines)
+
+
+def test_ablation_benchmark(benchmark, sweep):
+    rows, unbounded = sweep
+    block = benchmark.pedantic(
+        lambda: render(rows, unbounded), rounds=1, iterations=1
+    )
+    write_results("ablation_adaptive_lease", block)
+    assert "budget" in block
+
+
+def test_storage_tracks_budget(sweep):
+    rows, _ = sweep
+    for budget, result in rows:
+        # The controller reacts within one period; allow 2x headroom.
+        assert result.sitelist_storage_bytes <= 2 * budget
+
+
+def test_tighter_budget_more_validations(sweep):
+    rows, unbounded = sweep
+    ims = [result.ims for _, result in rows]
+    assert ims[0] >= ims[-1]
+    assert ims[0] > unbounded.ims
+
+
+def test_still_strongly_consistent(sweep):
+    rows, unbounded = sweep
+    for _, result in rows:
+        assert result.violations == 0
+    assert unbounded.violations == 0

@@ -1,0 +1,112 @@
+"""Ablation H — modification-detection mechanisms (paper Section 4).
+
+The paper implements two ways for the accelerator to learn of changes:
+the "notify" check-in utility (immediate) and the browser-based approach
+(detection happens when the author next views the page).  The
+experiments use notify; this ablation quantifies what browser-based
+detection costs: invalidation inherits a staleness window equal to the
+detection delay, though it still never *violates* (the write is not
+complete until invalidations go out, which cannot happen before
+detection).
+"""
+
+import pytest
+from conftest import write_results
+
+from repro import (
+    DAYS,
+    ExperimentConfig,
+    PROFILES,
+    RngRegistry,
+    generate_trace,
+    invalidation,
+    run_experiment,
+)
+
+SWEEP_SCALE = 0.15
+#: Mean wall seconds until the author's view triggers detection.
+VIEW_DELAYS = [30.0, 300.0, 1800.0]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    trace = generate_trace(PROFILES["SDSC"].scaled(SWEEP_SCALE), RngRegistry(seed=42))
+    lifetime = 2.5 * DAYS
+    notify = run_experiment(
+        ExperimentConfig(
+            trace=trace, protocol=invalidation(), mean_lifetime=lifetime
+        )
+    )
+    rows = []
+    for delay in VIEW_DELAYS:
+        rows.append(
+            (
+                delay,
+                run_experiment(
+                    ExperimentConfig(
+                        trace=trace,
+                        protocol=invalidation(),
+                        mean_lifetime=lifetime,
+                        detection="browser",
+                        browser_view_delay=delay,
+                    )
+                ),
+            )
+        )
+    return notify, rows
+
+
+def render(notify, rows) -> str:
+    lines = ["Ablation H: notify vs browser-based change detection (SDSC, 2.5d)"]
+    lines.append(
+        f"{'detection':>16s}{'stale serves':>14s}{'mean staleness':>16s}"
+        f"{'invalidations':>15s}{'violations':>12s}"
+    )
+    lines.append(
+        f"{'notify':>16s}{notify.stale_serves:>14d}"
+        f"{notify.counters.staleness.mean:>16.1f}{notify.invalidations:>15d}"
+        f"{notify.violations:>12d}"
+    )
+    for delay, result in rows:
+        lines.append(
+            f"{f'browser {delay:.0f}s':>16s}{result.stale_serves:>14d}"
+            f"{result.counters.staleness.mean:>16.1f}"
+            f"{result.invalidations:>15d}{result.violations:>12d}"
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_benchmark(benchmark, sweep):
+    notify, rows = sweep
+    block = benchmark.pedantic(
+        lambda: render(notify, rows), rounds=1, iterations=1
+    )
+    write_results("ablation_detection", block)
+    assert "browser" in block
+
+
+def test_notify_detection_near_zero_staleness(sweep):
+    notify, _rows = sweep
+    assert notify.stale_serves <= max(5, 0.01 * notify.total_requests)
+
+
+def test_staleness_grows_with_detection_delay(sweep):
+    _notify, rows = sweep
+    stales = [result.stale_serves for _, result in rows]
+    assert stales[0] <= stales[-1]
+    assert stales[-1] > 0  # long delays visibly leak stale serves
+
+
+def test_browser_detection_never_violates(sweep):
+    """No INVALIDATE delivered means the write is incomplete: stale
+    reads are permitted, violations are not."""
+    notify, rows = sweep
+    assert notify.violations == 0
+    for _, result in rows:
+        assert result.violations == 0
+
+
+def test_invalidations_still_flow(sweep):
+    _notify, rows = sweep
+    for _, result in rows:
+        assert result.invalidations > 0

@@ -1,0 +1,106 @@
+"""Ablation B — the polling vs. invalidation crossover in lifetime.
+
+Section 3: "The comparison of polling-every-time and invalidation
+depends on the relative frequency of requests and modifications", and
+Section 5.2: "Except in the extreme case of file lifetime on the order
+of minutes, cache hits occur much more often than file modifications.
+Thus, invalidation incurs much fewer network transactions than
+polling-every-time."
+
+We sweep the mean file lifetime across three orders of magnitude on a
+scaled SDSC workload and chart both protocols' message totals: the gap
+narrows monotonically as lifetimes shrink.
+"""
+
+import pytest
+from conftest import write_results
+
+from repro import (
+    DAYS,
+    ExperimentConfig,
+    PROFILES,
+    RngRegistry,
+    generate_trace,
+    invalidation,
+    poll_every_time,
+    run_experiment,
+)
+
+#: Sweep uses a fixed small scale regardless of REPRO_BENCH_SCALE: it is
+#: a shape experiment, and five lifetimes x two protocols at full scale
+#: would dominate the whole benchmark suite's runtime.
+SWEEP_SCALE = 0.15
+#: Mean lifetimes in (scaled) days, from "order of minutes" upwards.
+LIFETIMES_DAYS = [0.01, 0.05, 0.25, 2.5, 25.0]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    profile = PROFILES["SDSC"].scaled(SWEEP_SCALE)
+    trace = generate_trace(profile, RngRegistry(seed=42))
+    rows = []
+    for lifetime in LIFETIMES_DAYS:
+        per_protocol = {}
+        for name, factory in (
+            ("polling", poll_every_time),
+            ("invalidation", invalidation),
+        ):
+            result = run_experiment(
+                ExperimentConfig(
+                    trace=trace,
+                    protocol=factory(),
+                    mean_lifetime=lifetime * DAYS * SWEEP_SCALE,
+                )
+            )
+            per_protocol[name] = result
+        rows.append((lifetime, per_protocol))
+    return rows
+
+
+def render(rows) -> str:
+    lines = ["Ablation B: lifetime sweep, polling vs invalidation (SDSC-like)"]
+    lines.append(
+        f"{'lifetime':>10s}{'mods':>8s}{'polling msgs':>14s}"
+        f"{'invalidation msgs':>19s}{'ratio':>8s}"
+    )
+    for lifetime, results in rows:
+        polling = results["polling"].total_messages
+        inval = results["invalidation"].total_messages
+        lines.append(
+            f"{lifetime:>9.2f}d{results['invalidation'].files_modified:>8d}"
+            f"{polling:>14d}{inval:>19d}{polling / inval:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_sweep_benchmark(benchmark, sweep):
+    block = benchmark.pedantic(lambda: render(sweep), rounds=1, iterations=1)
+    write_results("ablation_lifetime_sweep", block)
+    assert "ratio" in block
+
+
+def test_invalidation_wins_at_realistic_lifetimes(sweep):
+    """At day-scale lifetimes invalidation sends far fewer messages."""
+    for lifetime, results in sweep:
+        if lifetime >= 2.5:
+            assert (
+                results["invalidation"].total_messages
+                < results["polling"].total_messages
+            )
+
+
+def test_advantage_shrinks_as_lifetime_drops(sweep):
+    """The polling/invalidation ratio narrows monotonically-ish."""
+    ratios = [
+        results["polling"].total_messages
+        / results["invalidation"].total_messages
+        for _, results in sweep
+    ]
+    # Longest lifetime -> biggest advantage; shortest -> smallest.
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 1.2
+
+
+def test_modification_counts_span_orders_of_magnitude(sweep):
+    mods = [results["invalidation"].files_modified for _, results in sweep]
+    assert mods[0] > 100 * mods[-1]

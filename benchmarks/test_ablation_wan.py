@@ -1,0 +1,105 @@
+"""Ablation E — the real-Internet extrapolation (paper Section 5.2).
+
+"How would the relative comparison of the response times change in the
+real Internet?  ...  we expect polling-every-time to have a much worse
+average response time in real life.  Conversely, invalidation will have
+similar or even lower response time than adaptive TTL."
+
+We rerun one experiment with a WAN latency model (50 ms one-way base +
+jitter, T1-class bottleneck) in place of the testbed Ethernet and
+compare the protocols' response times.
+"""
+
+import pytest
+from conftest import write_results
+
+from repro import (
+    DAYS,
+    ExperimentConfig,
+    PROFILES,
+    RngRegistry,
+    adaptive_ttl,
+    generate_trace,
+    invalidation,
+    poll_every_time,
+    run_experiment,
+)
+from repro.net import WanModel
+from repro.sim import RngRegistry as Registry
+
+WAN_SCALE = 0.15
+PROTOS = {
+    "polling": poll_every_time,
+    "invalidation": invalidation,
+    "ttl": adaptive_ttl,
+}
+
+
+@pytest.fixture(scope="module")
+def runs():
+    trace = generate_trace(PROFILES["SDSC"].scaled(WAN_SCALE), RngRegistry(seed=42))
+    out = {}
+    for name, factory in PROTOS.items():
+        for net_name in ("lan", "wan"):
+            latency = None
+            if net_name == "wan":
+                latency = WanModel(
+                    base_delay=0.05,
+                    jitter=0.02,
+                    bandwidth_bps=1.5e6,
+                    rng=Registry(seed=42).stream(f"wan-{name}"),
+                    size_scale=100.0,
+                )
+            out[(name, net_name)] = run_experiment(
+                ExperimentConfig(
+                    trace=trace,
+                    protocol=factory(),
+                    mean_lifetime=25 * DAYS,
+                    latency_model=latency,
+                )
+            )
+    return out
+
+
+def render(runs) -> str:
+    lines = ["Ablation E: LAN testbed vs WAN extrapolation (SDSC-like, 25d)"]
+    lines.append(
+        f"{'protocol':16s}{'LAN avg (s)':>13s}{'WAN avg (s)':>13s}"
+        f"{'LAN min':>10s}{'WAN min':>10s}"
+    )
+    for name in PROTOS:
+        lan, wan = runs[(name, "lan")], runs[(name, "wan")]
+        lines.append(
+            f"{name:16s}{lan.avg_latency:>13.3f}{wan.avg_latency:>13.3f}"
+            f"{lan.min_latency:>10.3f}{wan.min_latency:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_benchmark(benchmark, runs):
+    block = benchmark.pedantic(lambda: render(runs), rounds=1, iterations=1)
+    write_results("ablation_wan", block)
+    assert "WAN" in block
+
+
+def test_polling_suffers_most_on_wan(runs):
+    """Polling pays a WAN round trip on *every* request."""
+    penalties = {
+        name: runs[(name, "wan")].avg_latency - runs[(name, "lan")].avg_latency
+        for name in PROTOS
+    }
+    assert penalties["polling"] > penalties["invalidation"]
+    assert penalties["polling"] > penalties["ttl"]
+
+
+def test_invalidation_not_worse_than_ttl_on_wan(runs):
+    assert runs[("invalidation", "wan")].avg_latency <= (
+        1.05 * runs[("ttl", "wan")].avg_latency
+    )
+
+
+def test_wan_message_counts_unchanged(runs):
+    """Latency model must not change protocol behaviour, only timing."""
+    for name in PROTOS:
+        lan, wan = runs[(name, "lan")], runs[(name, "wan")]
+        assert lan.replies_200 == pytest.approx(wan.replies_200, rel=0.02)

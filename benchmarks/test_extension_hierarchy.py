@@ -1,0 +1,91 @@
+"""Extension — invalidation with a caching hierarchy (Worrell [14]).
+
+Related work (Section 2): Worrell found invalidation superior in
+*hierarchical* caches, where the hierarchy "significantly reduces the
+overhead for invalidation"; the paper studies the no-hierarchy case
+because hierarchies were not yet deployed.  This extension inserts one
+upper-level cache per pair of leaf proxies and measures how the server's
+invalidation burden collapses:
+
+* the server tracks parent caches, not client sites, so its site lists
+  shrink by orders of magnitude;
+* the server sends at most one INVALIDATE per parent per modification;
+* strong consistency holds end-to-end (children hear through parents).
+"""
+
+import pytest
+from conftest import write_results
+
+from repro import DAYS, ExperimentConfig, invalidation, run_experiment
+
+
+@pytest.fixture(scope="module")
+def runs(harness, result_cache):
+    flat = harness("SASK", 14.0, "invalidation")
+    key = ("SASK", 14.0, "invalidation-hierarchy", ())
+    hier = result_cache.get(key)
+    if hier is None:
+        hier = run_experiment(
+            ExperimentConfig(
+                trace=harness.get_trace("SASK"),
+                protocol=invalidation(),
+                mean_lifetime=14.0 * DAYS,
+                hierarchy_parents=2,
+            )
+        )
+        result_cache[key] = hier
+    return {"flat": flat, "hierarchical": hier}
+
+
+def render(runs) -> str:
+    flat, hier = runs["flat"], runs["hierarchical"]
+    lines = ["Extension: flat vs hierarchical invalidation (SASK, 14d)"]
+    lines.append(f"{'metric':34s}{'flat':>12s}{'hierarchical':>14s}")
+    rows = [
+        ("server site-list entries (end)", flat.sitelist_entries,
+         hier.sitelist_entries),
+        ("server site-list storage (B)", flat.sitelist_storage_bytes,
+         hier.sitelist_storage_bytes),
+        ("server invalidations sent", flat.invalidations_sent,
+         hier.invalidations_sent),
+        ("parent-forwarded invalidations", 0,
+         hier.parent_invalidations_forwarded),
+        ("max server fan-out time (s)", f"{flat.invalidation_time_max:.3f}",
+         f"{hier.invalidation_time_max:.3f}"),
+        ("origin 200 replies", flat.origin_replies_200,
+         hier.origin_replies_200),
+        ("consistency violations", flat.violations, hier.violations),
+    ]
+    for label, a, b in rows:
+        lines.append(f"{label:34s}{str(a):>12s}{str(b):>14s}")
+    return "\n".join(lines)
+
+
+def test_extension_benchmark(benchmark, runs):
+    block = benchmark.pedantic(lambda: render(runs), rounds=1, iterations=1)
+    write_results("extension_hierarchy", block)
+    assert "hierarchical" in block
+
+
+def test_server_sitelists_collapse(runs):
+    """The server only remembers parents: entries ~ #documents x #parents."""
+    flat, hier = runs["flat"], runs["hierarchical"]
+    assert hier.sitelist_entries < 0.2 * flat.sitelist_entries
+
+
+def test_server_sends_far_fewer_invalidations(runs):
+    flat, hier = runs["flat"], runs["hierarchical"]
+    assert hier.invalidations_sent < 0.5 * flat.invalidations_sent
+    # Parents carry the fan-out instead.
+    assert hier.parent_invalidations_forwarded > 0
+
+
+def test_origin_load_reduced_by_shared_parent_cache(runs):
+    """Shared parent copies absorb sibling misses at the origin."""
+    flat, hier = runs["flat"], runs["hierarchical"]
+    assert hier.origin_replies_200 < flat.origin_replies_200
+    assert hier.origin_requests < flat.origin_requests
+
+
+def test_hierarchy_preserves_strong_consistency(runs):
+    assert runs["hierarchical"].violations == 0

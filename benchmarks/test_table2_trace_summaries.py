@@ -1,0 +1,89 @@
+"""Table 2 — summaries of the five (synthetic) traces.
+
+Regenerates the paper's trace-summary table from the calibrated
+generators and checks each column against the paper's values.
+"""
+
+import pytest
+from conftest import bench_scale, write_results
+
+from repro import PROFILES, RngRegistry, generate_trace, summarize
+from repro.traces import TraceSummary
+
+ORDER = ["EPA", "SDSC", "ClarkNet", "NASA", "SASK"]
+
+#: Paper Table 2 targets: (requests, avg KB, popularity max, popularity mean).
+PAPER_TABLE2 = {
+    "EPA": (40658, 21, 1642, 8.2),
+    "SDSC": (25430, 14, 1020, 12.0),
+    "ClarkNet": (61703, 13, 680, 8.0),
+    "NASA": (61823, 44, 3138, 31.0),
+    "SASK": (51471, 12, 1155, 14.0),
+}
+
+
+def render(summaries) -> str:
+    lines = ["Table 2: trace summaries (synthetic, calibrated to the paper)"]
+    header = (f"{'Item':16s}" + "".join(f"{name:>12s}" for name in ORDER))
+    lines.append(header)
+    rows = [
+        ("Duration (d)", [f"{s.duration / 86400:.2f}" for s in summaries]),
+        ("Total Requests", [s.total_requests for s in summaries]),
+        ("Number of Files", [s.num_files for s in summaries]),
+        ("Avg. File Size", [f"{s.avg_file_size / 1024:.0f}KB" for s in summaries]),
+        (
+            "File Popularity",
+            [f"{s.popularity_max} ({s.popularity_mean:.1f})" for s in summaries],
+        ),
+        ("Client Sites", [s.num_clients for s in summaries]),
+    ]
+    for label, cells in rows:
+        lines.append(f"{label:16s}" + "".join(f"{str(c):>12s}" for c in cells))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def summaries(harness):
+    return {name: summarize(harness.get_trace(name)) for name in ORDER}
+
+
+def test_table2_generation_benchmark(benchmark):
+    """Benchmark the generator itself on the largest trace (NASA)."""
+
+    def generate():
+        profile = PROFILES["NASA"]
+        if bench_scale() != 1.0:
+            profile = profile.scaled(bench_scale())
+        return generate_trace(profile, RngRegistry(seed=7))
+
+    trace = benchmark.pedantic(generate, rounds=1, iterations=1)
+    assert len(trace) > 0
+
+
+def test_table2_rows(summaries):
+    scale = bench_scale()
+    text = render([summaries[name] for name in ORDER])
+    write_results("table2_trace_summaries", text)
+    for name in ORDER:
+        summary: TraceSummary = summaries[name]
+        requests, avg_kb, pop_max, pop_mean = PAPER_TABLE2[name]
+        if scale == 1.0:
+            assert summary.total_requests == requests
+            assert summary.avg_file_size / 1024 == pytest.approx(avg_kb, rel=0.05)
+            assert summary.popularity_max == pytest.approx(pop_max, rel=0.15)
+            assert summary.popularity_mean == pytest.approx(pop_mean, rel=0.15)
+        else:
+            assert summary.total_requests == pytest.approx(
+                requests * scale, rel=0.02
+            )
+
+
+def test_table2_derived_file_counts(summaries):
+    """File counts recovered from the Tables 3-4 modification headers."""
+    if bench_scale() != 1.0:
+        pytest.skip("file-count identities hold at paper scale")
+    assert summaries["EPA"].num_files == 3600
+    assert summaries["SASK"].num_files == 2009
+    assert summaries["ClarkNet"].num_files == 4800
+    assert summaries["NASA"].num_files == 1008
+    assert summaries["SDSC"].num_files == 1430

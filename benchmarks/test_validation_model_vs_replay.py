@@ -1,0 +1,128 @@
+"""Validation — the Section 3 model predicts the Section 5 measurements.
+
+The per-pair analytical state machines (Table 1), summed over every
+(client, document) pair of a trace, predict the replay's wire-level
+message rows.  With unbounded proxy caches (the model's "cache always
+has space" assumption) the polling prediction matches the replay to
+within the lock-step's intra-interval reordering (a few messages out of
+thousands), and invalidation is equally tight.
+
+This cross-check ties the paper's analysis to its testbed numbers — a
+correctness argument the paper itself only makes qualitatively.
+"""
+
+import pytest
+from conftest import write_results
+
+from repro import (
+    DAYS,
+    ExperimentConfig,
+    PROFILES,
+    RngRegistry,
+    generate_trace,
+    invalidation,
+    poll_every_time,
+    run_experiment,
+)
+from repro.core import predict_message_counts
+from repro.workload import generate_schedule
+
+VALIDATION_SCALE = 0.15
+LIFETIME = 2.5 * DAYS
+
+
+@pytest.fixture(scope="module")
+def workload():
+    trace = generate_trace(
+        PROFILES["SDSC"].scaled(VALIDATION_SCALE), RngRegistry(seed=42)
+    )
+    # The experiment runner derives its schedule from the same seed and
+    # stream name, so prediction and replay see identical modifications.
+    schedule = generate_schedule(
+        sorted(trace.documents),
+        trace.duration,
+        LIFETIME,
+        RngRegistry(42).stream("modifications"),
+    )
+    return trace, schedule
+
+
+@pytest.fixture(scope="module")
+def comparison(workload):
+    trace, schedule = workload
+    rows = {}
+    for name, factory in (
+        ("polling", poll_every_time),
+        ("invalidation", invalidation),
+    ):
+        predicted = predict_message_counts(trace, schedule, name)
+        measured = run_experiment(
+            ExperimentConfig(
+                trace=trace,
+                protocol=factory(),
+                mean_lifetime=LIFETIME,
+                proxy_cache_bytes=None,  # the model's unbounded cache
+            )
+        )
+        rows[name] = (predicted, measured)
+    return rows
+
+
+def render(rows) -> str:
+    lines = ["Validation: analytical model vs full replay (SDSC-like, 2.5d)"]
+    lines.append(
+        f"{'protocol':14s}{'':10s}{'GETs':>8s}{'IMS':>8s}{'304s':>8s}"
+        f"{'invals':>8s}{'xfers':>8s}"
+    )
+    for name, (predicted, measured) in rows.items():
+        p = predicted.counts
+        lines.append(
+            f"{name:14s}{'model':>10s}{p.gets:>8d}{p.ims:>8d}"
+            f"{p.replies_304:>8d}{p.invalidations:>8d}{p.file_transfers:>8d}"
+        )
+        lines.append(
+            f"{'':14s}{'replay':>10s}{measured.gets:>8d}{measured.ims:>8d}"
+            f"{measured.replies_304:>8d}{measured.invalidations:>8d}"
+            f"{measured.replies_200:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def test_validation_benchmark(benchmark, comparison):
+    block = benchmark.pedantic(lambda: render(comparison), rounds=1, iterations=1)
+    write_results("validation_model_vs_replay", block)
+    assert "model" in block
+
+
+def test_polling_prediction_near_exact(comparison):
+    """Exact up to intra-interval reordering: the 5-minute lock step may
+    execute a request and a same-interval modification in either order,
+    so a request on the boundary can validate against the other version
+    (one 304/200 swap per boundary collision at most)."""
+    predicted, measured = comparison["polling"]
+    assert predicted.counts.gets == measured.gets
+    assert predicted.counts.ims == measured.ims
+    assert predicted.counts.replies_304 == pytest.approx(
+        measured.replies_304, abs=3
+    )
+    assert predicted.counts.file_transfers == pytest.approx(
+        measured.replies_200, abs=3
+    )
+
+
+def test_invalidation_prediction_tight(comparison):
+    predicted, measured = comparison["invalidation"]
+    assert predicted.counts.gets == pytest.approx(measured.gets, abs=5)
+    assert predicted.counts.file_transfers == pytest.approx(
+        measured.replies_200, abs=5
+    )
+    assert predicted.counts.invalidations == pytest.approx(
+        measured.invalidations, abs=max(5, 0.02 * measured.invalidations)
+    )
+
+
+def test_model_confirms_protocol_ordering(comparison):
+    """Even the pure model reproduces the headline comparison."""
+    polling_pred = comparison["polling"][0]
+    inval_pred = comparison["invalidation"][0]
+    assert polling_pred.total_messages > inval_pred.total_messages

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Tour of the extension protocols beyond the paper's three.
+
+Runs one scaled workload under six consistency schemes and prints a
+single comparison: the paper's three, the two Section 6 lease variants,
+and the PSI follow-up — plus a hierarchical run showing the Worrell
+effect on the origin server.
+
+Usage::
+
+    python examples/extensions_tour.py [scale]
+"""
+
+import sys
+
+from repro import (
+    DAYS,
+    ExperimentConfig,
+    PROFILES,
+    RngRegistry,
+    adaptive_ttl,
+    generate_trace,
+    invalidation,
+    lease_invalidation,
+    piggyback_invalidation,
+    poll_every_time,
+    run_experiment,
+    two_tier_lease,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    profile = PROFILES["SDSC"].scaled(scale)
+    lifetime = 2.5 * DAYS
+    trace = generate_trace(profile, RngRegistry(seed=42))
+    print(f"SDSC-like workload: {profile.total_requests} requests, "
+          f"{profile.num_files} files, 2.5-day lifetimes\n")
+
+    schemes = [
+        ("poll-every-time", poll_every_time()),
+        ("adaptive TTL", adaptive_ttl()),
+        ("invalidation", invalidation()),
+        ("invalidation (multicast)", invalidation(multicast=True)),
+        ("lease invalidation (10m)", lease_invalidation(lease_duration=600.0)),
+        ("two-tier lease", two_tier_lease(lease_duration=1e9)),
+        ("PSI (piggyback)", piggyback_invalidation()),
+    ]
+
+    print(f"{'scheme':28s}{'msgs':>8s}{'stale':>7s}{'maxlat':>8s}"
+          f"{'CPU':>7s}{'sitelist':>10s}")
+    for label, protocol in schemes:
+        result = run_experiment(
+            ExperimentConfig(trace=trace, protocol=protocol,
+                             mean_lifetime=lifetime)
+        )
+        print(f"{label:28s}{result.total_messages:>8d}"
+              f"{result.stale_serves:>7d}{result.max_latency:>8.2f}"
+              f"{result.cpu_utilization:>7.1%}{result.sitelist_entries:>10d}")
+
+    # The Worrell configuration: a hierarchy in front of the server.
+    flat = run_experiment(
+        ExperimentConfig(trace=trace, protocol=invalidation(),
+                         mean_lifetime=lifetime)
+    )
+    hier = run_experiment(
+        ExperimentConfig(trace=trace, protocol=invalidation(),
+                         mean_lifetime=lifetime, hierarchy_parents=2)
+    )
+    print("\nHierarchy (2 parents) vs flat, invalidation:")
+    print(f"  origin transfers  {flat.origin_replies_200:6d} -> "
+          f"{hier.origin_replies_200:6d}")
+    print(f"  server fan-outs   {flat.invalidations_sent:6d} -> "
+          f"{hier.invalidations_sent:6d} "
+          f"(+{hier.parent_invalidations_forwarded} forwarded by parents)")
+    print(f"  server site list  {flat.sitelist_entries:6d} -> "
+          f"{hier.sitelist_entries:6d} entries")
+
+
+if __name__ == "__main__":
+    main()

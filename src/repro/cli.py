@@ -1,0 +1,265 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``replay``    — run one trace x protocol experiment and print the
+  Table 3/4-style block (plus Table 5 costs for invalidation runs).
+* ``compare``   — run all three paper protocols on one trace.
+* ``summarize`` — print the Table 2 row for a synthetic or CLF trace.
+* ``generate``  — write a calibrated synthetic trace as a CLF log.
+* ``analyze``   — evaluate the Table 1 model on an r/m stream.
+
+Examples::
+
+    python -m repro compare --trace EPA --lifetime-days 50 --scale 0.1
+    python -m repro replay --trace SASK --protocol two-tier --scale 0.1
+    python -m repro summarize --trace NASA
+    python -m repro summarize --clf /path/to/access_log
+    python -m repro generate --trace SDSC --scale 0.2 --out sdsc.log
+    python -m repro analyze --stream "r r r m m m r r m r r r m m r"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core import (
+    adaptive_lease,
+    adaptive_ttl,
+    fixed_ttl,
+    invalidation,
+    lease_invalidation,
+    piggyback_invalidation,
+    poll_every_time,
+    simulate_stream,
+    symbolic_counts,
+    two_tier_lease,
+)
+from .core.analysis import timed_stream_from_ops
+from .replay import (
+    ExperimentConfig,
+    format_comparison_table,
+    format_invalidation_costs,
+    run_experiment,
+)
+from .sim import RngRegistry
+from .traces import generate_trace, read_clf, summarize, write_clf
+from .traces.catalog import PROFILES
+from .traces import profile as lookup_profile
+from .workload import DAYS, count_r_ri, parse_stream
+
+__all__ = ["main", "build_parser"]
+
+#: CLI protocol names -> factories.
+PROTOCOL_FACTORIES = {
+    "ttl": adaptive_ttl,
+    "adaptive-ttl": adaptive_ttl,
+    "fixed-ttl": fixed_ttl,
+    "polling": poll_every_time,
+    "invalidation": invalidation,
+    "invalidation-decoupled": lambda: invalidation(blocking=False),
+    "invalidation-multicast": lambda: invalidation(multicast=True),
+    "lease": lease_invalidation,
+    "adaptive-lease": adaptive_lease,
+    "two-tier": two_tier_lease,
+    "psi": piggyback_invalidation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Liu & Cao (ICDCS 1997), 'Maintaining Strong "
+            "Cache Consistency in the World-Wide Web'."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            default="EPA",
+            help=f"trace profile name ({', '.join(PROFILES)})",
+        )
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=0.1,
+            help="workload scale factor in (0, 1] (default 0.1)",
+        )
+        p.add_argument("--seed", type=int, default=42, help="master seed")
+
+    def add_replay_args(p: argparse.ArgumentParser) -> None:
+        add_trace_args(p)
+        p.add_argument(
+            "--lifetime-days",
+            type=float,
+            default=50.0,
+            help="mean document lifetime in days (default 50)",
+        )
+        p.add_argument(
+            "--cache-mb",
+            type=int,
+            default=64,
+            help="per-proxy cache capacity in MB (default 64)",
+        )
+        p.add_argument(
+            "--hierarchy",
+            type=int,
+            default=0,
+            metavar="N",
+            help="insert N parent caches (0 = flat, the paper's setup)",
+        )
+
+    replay = sub.add_parser("replay", help="run one protocol on one trace")
+    add_replay_args(replay)
+    replay.add_argument(
+        "--protocol",
+        default="invalidation",
+        choices=sorted(PROTOCOL_FACTORIES),
+        help="consistency protocol",
+    )
+    replay.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="run the paper's three protocols on one trace"
+    )
+    add_replay_args(compare)
+    compare.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+
+    summ = sub.add_parser("summarize", help="print a Table 2-style summary")
+    add_trace_args(summ)
+    summ.add_argument(
+        "--clf",
+        metavar="PATH",
+        help="summarize a Common Log Format file instead of a profile",
+    )
+
+    gen = sub.add_parser("generate", help="write a synthetic trace as CLF")
+    add_trace_args(gen)
+    gen.add_argument("--out", required=True, metavar="PATH", help="output file")
+
+    analyze = sub.add_parser(
+        "analyze", help="Table 1 message model for an r/m stream"
+    )
+    analyze.add_argument(
+        "--stream",
+        default="r r r m m m r r m r r r m m r",
+        help="request/modification stream (default: the paper's example)",
+    )
+    analyze.add_argument(
+        "--spacing",
+        type=float,
+        default=3600.0,
+        help="seconds between stream events (default 3600)",
+    )
+    return parser
+
+
+def _make_trace(args):
+    profile = lookup_profile(args.trace)
+    if args.scale != 1.0:
+        profile = profile.scaled(args.scale)
+    return generate_trace(profile, RngRegistry(seed=args.seed))
+
+
+def _make_config(args, protocol) -> ExperimentConfig:
+    return ExperimentConfig(
+        trace=_make_trace(args),
+        protocol=protocol,
+        mean_lifetime=args.lifetime_days * DAYS,
+        proxy_cache_bytes=args.cache_mb * 1024 * 1024,
+        seed=args.seed,
+        hierarchy_parents=args.hierarchy or None,
+    )
+
+
+def _cmd_replay(args, out) -> int:
+    protocol = PROTOCOL_FACTORIES[args.protocol]()
+    result = run_experiment(_make_config(args, protocol))
+    if args.json:
+        from .replay import results_to_json
+
+        print(results_to_json([result]), file=out)
+        return 0
+    print(format_comparison_table([result]), file=out)
+    if protocol.uses_invalidation:
+        print("", file=out)
+        print(format_invalidation_costs([result]), file=out)
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    results = []
+    for factory in (poll_every_time, invalidation, adaptive_ttl):
+        results.append(run_experiment(_make_config(args, factory())))
+    if args.json:
+        from .replay import results_to_json
+
+        print(results_to_json(results), file=out)
+        return 0
+    print(format_comparison_table(results), file=out)
+    return 0
+
+
+def _cmd_summarize(args, out) -> int:
+    if args.clf:
+        with open(args.clf, "r", errors="replace") as handle:
+            trace = read_clf(handle, name=args.clf)
+    else:
+        trace = _make_trace(args)
+    print(summarize(trace).row(), file=out)
+    return 0
+
+
+def _cmd_generate(args, out) -> int:
+    trace = _make_trace(args)
+    with open(args.out, "w") as handle:
+        count = write_clf(trace, handle)
+    print(f"wrote {count} records to {args.out}", file=out)
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    ops = parse_stream(args.stream)
+    counts = count_r_ri(ops)
+    print(f"R = {counts.reads}, RI = {counts.intervals}", file=out)
+    events = timed_stream_from_ops(ops, spacing=args.spacing)
+    print(f"{'protocol':14s}{'GETs':>6s}{'IMS':>6s}{'304s':>6s}"
+          f"{'invals':>8s}{'xfers':>7s}{'control':>9s}", file=out)
+    for name in ("polling", "invalidation", "ttl"):
+        counts_sim = simulate_stream(events, name)
+        print(
+            f"{name:14s}{counts_sim.gets:>6d}{counts_sim.ims:>6d}"
+            f"{counts_sim.replies_304:>6d}{counts_sim.invalidations:>8d}"
+            f"{counts_sim.file_transfers:>7d}{counts_sim.control_messages:>9d}",
+            file=out,
+        )
+    symbolic = symbolic_counts("invalidation", counts.reads, counts.intervals)
+    print(f"(Table 1 bound: invalidation control <= {symbolic.control_messages})",
+          file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "replay": _cmd_replay,
+        "compare": _cmd_compare,
+        "summarize": _cmd_summarize,
+        "generate": _cmd_generate,
+        "analyze": _cmd_analyze,
+    }[args.command]
+    return handler(args, out)

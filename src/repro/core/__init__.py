@@ -1,0 +1,56 @@
+"""The paper's contribution: cache-consistency protocols + analysis.
+
+Quick use::
+
+    from repro.core import adaptive_ttl, poll_every_time, invalidation
+
+    protocols = [adaptive_ttl(), poll_every_time(), invalidation()]
+"""
+
+from .adaptive_ttl import DEFAULT_TTL_FACTOR, AdaptiveTtlPolicy, adaptive_ttl
+from .analysis import (
+    MessageCounts,
+    simulate_stream,
+    symbolic_counts,
+    timed_stream_from_ops,
+)
+from .fixed_ttl import FixedTtlPolicy, fixed_ttl
+from .invalidation import InvalidationPolicy, invalidation
+from .leases import (
+    DEFAULT_LEASE,
+    adaptive_lease,
+    lease_invalidation,
+    two_tier_lease,
+)
+from .piggyback import piggyback_invalidation
+from .polling import PollEveryTimePolicy, poll_every_time
+from .prediction import TracePrediction, pair_streams, predict_message_counts
+from .protocol import SERVE, VALIDATE, ClientPolicy, Protocol
+
+__all__ = [
+    "Protocol",
+    "ClientPolicy",
+    "SERVE",
+    "VALIDATE",
+    "adaptive_ttl",
+    "AdaptiveTtlPolicy",
+    "DEFAULT_TTL_FACTOR",
+    "poll_every_time",
+    "PollEveryTimePolicy",
+    "fixed_ttl",
+    "FixedTtlPolicy",
+    "piggyback_invalidation",
+    "invalidation",
+    "InvalidationPolicy",
+    "lease_invalidation",
+    "two_tier_lease",
+    "adaptive_lease",
+    "DEFAULT_LEASE",
+    "MessageCounts",
+    "symbolic_counts",
+    "simulate_stream",
+    "timed_stream_from_ops",
+    "predict_message_counts",
+    "TracePrediction",
+    "pair_streams",
+]

@@ -1,0 +1,85 @@
+"""Adaptive TTL (the Alex protocol) — the paper's weak-consistency baseline.
+
+The cache manager assigns each document a time-to-live equal to a
+percentage of the document's current age (now minus last-modified),
+exploiting the bimodal lifetime distributions of real files: an old file
+is unlikely to change soon, so it earns a long TTL; a recently-modified
+file earns a short one.
+
+Harvest's implementation detail that matters for the results: expired
+documents are *replaced first* when cache space is needed
+(``expired_first_cache=True``), which on SASK evicts freshly-modified
+documents prematurely and lowers the hit ratio (Section 5.2).
+
+A request hitting an expired copy sends an If-Modified-Since (the paper's
+optimization of the original Harvest code).  Stale hits — serving a copy
+whose TTL has not expired although the original changed — are possible;
+that is exactly the weak-consistency cost the paper quantifies.
+"""
+
+from __future__ import annotations
+
+from ..proxy.entry import CacheEntry
+from ..server.accelerator import AcceleratorConfig
+from .protocol import SERVE, VALIDATE, ClientPolicy, Protocol
+
+__all__ = ["AdaptiveTtlPolicy", "adaptive_ttl", "DEFAULT_TTL_FACTOR"]
+
+#: Harvest-era default update factor (cached copy valid for 20% of age).
+DEFAULT_TTL_FACTOR = 0.2
+
+
+class AdaptiveTtlPolicy(ClientPolicy):
+    """Client policy: serve while the adaptive TTL holds, else validate."""
+
+    def __init__(
+        self,
+        factor: float = DEFAULT_TTL_FACTOR,
+        min_ttl: float = 60.0,
+        max_ttl: float = 7 * 86400.0,
+    ) -> None:
+        if not 0 < factor:
+            raise ValueError("factor must be positive")
+        if min_ttl < 0 or max_ttl < min_ttl:
+            raise ValueError("need 0 <= min_ttl <= max_ttl")
+        self.name = "adaptive-ttl"
+        self.factor = factor
+        self.min_ttl = min_ttl
+        self.max_ttl = max_ttl
+
+    def ttl_for_age(self, age: float) -> float:
+        """TTL assigned to a document of the given age."""
+        return min(self.max_ttl, max(self.min_ttl, self.factor * age))
+
+    def action(self, entry: CacheEntry, now: float) -> str:
+        return SERVE if entry.fresh_by_ttl(now) else VALIDATE
+
+    def on_fill(self, entry: CacheEntry, response, now: float) -> None:
+        age = max(0.0, now - response.last_modified)
+        entry.expires = now + self.ttl_for_age(age)
+
+    def on_validated(self, entry: CacheEntry, response, now: float) -> None:
+        # A successful validation restarts the TTL from the (now larger)
+        # document age.
+        age = max(0.0, now - response.last_modified)
+        entry.expires = now + self.ttl_for_age(age)
+
+    def is_hit(self, outcome) -> bool:
+        # Fresh serves and 304-revalidated serves count (Harvest's
+        # TCP_HIT + TCP_REFRESH_HIT).
+        return outcome.served_from_cache
+
+
+def adaptive_ttl(
+    factor: float = DEFAULT_TTL_FACTOR,
+    min_ttl: float = 60.0,
+    max_ttl: float = 7 * 86400.0,
+) -> Protocol:
+    """The paper's adaptive-TTL baseline protocol."""
+    return Protocol(
+        name="adaptive-ttl",
+        client_policy=AdaptiveTtlPolicy(factor=factor, min_ttl=min_ttl, max_ttl=max_ttl),
+        accelerator=AcceleratorConfig(invalidation=False),
+        expired_first_cache=True,
+        strong=False,
+    )

@@ -1,0 +1,51 @@
+"""Fixed TTL — the baseline Worrell's thesis compared invalidation to.
+
+Related work (Section 2): Worrell [14] compared invalidation "with a
+fixed TTL approach, in which a single time-to-live is assigned to all
+files" and concluded invalidation is better.  The paper's adaptive TTL
+is the stronger weak-consistency baseline; fixed TTL is included here so
+that comparison can be reproduced too, and because it exposes adaptive
+TTL's advantage (fixed TTL must choose between frequent validation and
+frequent staleness for *all* documents at once).
+"""
+
+from __future__ import annotations
+
+from ..proxy.entry import CacheEntry
+from ..server.accelerator import AcceleratorConfig
+from .protocol import SERVE, VALIDATE, ClientPolicy, Protocol
+
+__all__ = ["FixedTtlPolicy", "fixed_ttl"]
+
+
+class FixedTtlPolicy(ClientPolicy):
+    """Client policy: every copy is fresh for the same fixed window."""
+
+    def __init__(self, ttl: float) -> None:
+        if ttl < 0:
+            raise ValueError("ttl must be non-negative")
+        self.name = f"fixed-ttl({ttl:g}s)"
+        self.ttl = ttl
+
+    def action(self, entry: CacheEntry, now: float) -> str:
+        return SERVE if entry.fresh_by_ttl(now) else VALIDATE
+
+    def on_fill(self, entry: CacheEntry, response, now: float) -> None:
+        entry.expires = now + self.ttl
+
+    def on_validated(self, entry: CacheEntry, response, now: float) -> None:
+        entry.expires = now + self.ttl
+
+    def is_hit(self, outcome) -> bool:
+        return outcome.served_from_cache
+
+
+def fixed_ttl(ttl: float = 3600.0) -> Protocol:
+    """A single time-to-live for every document (Worrell's baseline)."""
+    return Protocol(
+        name=f"fixed-ttl({ttl:g}s)",
+        client_policy=FixedTtlPolicy(ttl),
+        accelerator=AcceleratorConfig(invalidation=False),
+        expired_first_cache=True,
+        strong=False,
+    )

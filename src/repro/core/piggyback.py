@@ -1,0 +1,50 @@
+"""Piggyback server invalidation (PSI) — the follow-up protocol family.
+
+Krishnamurthy & Wills' piggyback server invalidation builds directly on
+this paper's invalidation study: instead of sending separate INVALIDATE
+messages, the server attaches the list of documents modified since a
+proxy's last contact to every reply it sends that proxy.  The proxy
+drops its copies of those documents on receipt.
+
+Consistency is *weak* (staleness is bounded by the proxy's inter-contact
+gap rather than eliminated), but there are zero additional control
+messages, no site lists, and no fan-out stalls — a different point in
+the trade-off space from all three of the paper's approaches.  The
+client side remains adaptive TTL; piggybacking just shrinks the stale
+window dramatically.
+"""
+
+from __future__ import annotations
+
+from ..server.accelerator import AcceleratorConfig
+from .adaptive_ttl import DEFAULT_TTL_FACTOR, AdaptiveTtlPolicy
+from .protocol import Protocol
+
+__all__ = ["piggyback_invalidation"]
+
+
+def piggyback_invalidation(
+    ttl_factor: float = DEFAULT_TTL_FACTOR,
+    min_ttl: float = 60.0,
+    max_ttl: float = 7 * 86400.0,
+    cap: int = 100,
+) -> Protocol:
+    """Adaptive TTL + piggybacked server invalidation lists.
+
+    Args:
+        ttl_factor / min_ttl / max_ttl: the underlying adaptive TTL.
+        cap: maximum URLs per piggybacked list.
+    """
+    return Protocol(
+        name="psi-adaptive-ttl",
+        client_policy=AdaptiveTtlPolicy(
+            factor=ttl_factor, min_ttl=min_ttl, max_ttl=max_ttl
+        ),
+        accelerator=AcceleratorConfig(
+            invalidation=False,
+            piggyback=True,
+            piggyback_cap=cap,
+        ),
+        expired_first_cache=True,
+        strong=False,
+    )

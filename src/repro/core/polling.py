@@ -1,0 +1,44 @@
+"""Polling-every-time — strong consistency by validating on every hit.
+
+Every request that finds a cached copy first sends an If-Modified-Since to
+the origin server; only a 304 allows the copy to be served.  A write is
+complete once it reaches the server's file system, so no stale copy is
+ever served — at the price of a server round-trip per hit, which is where
+the paper's extra 10-50% network messages and higher server CPU come from.
+
+Hit accounting: the paper notes its polling hit counts "include 'hits' on
+stale documents" — a request that finds a (stale) copy counts as a hit
+even though validation then transfers the new version.  :meth:`is_hit`
+reproduces that definition so the Tables 3-4 comparison reads the same
+way.
+"""
+
+from __future__ import annotations
+
+from ..proxy.entry import CacheEntry
+from ..server.accelerator import AcceleratorConfig
+from .protocol import VALIDATE, ClientPolicy, Protocol
+
+__all__ = ["PollEveryTimePolicy", "poll_every_time"]
+
+
+class PollEveryTimePolicy(ClientPolicy):
+    """Client policy: always validate before serving."""
+
+    name = "poll-every-time"
+
+    def action(self, entry: CacheEntry, now: float) -> str:
+        return VALIDATE
+
+    def is_hit(self, outcome) -> bool:
+        return outcome.had_cached_copy
+
+
+def poll_every_time() -> Protocol:
+    """The paper's polling-every-time strong-consistency protocol."""
+    return Protocol(
+        name="poll-every-time",
+        client_policy=PollEveryTimePolicy(),
+        accelerator=AcceleratorConfig(invalidation=False),
+        strong=True,
+    )

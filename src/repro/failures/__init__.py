@@ -1,0 +1,5 @@
+"""Failure injection (crashes, recoveries, partitions)."""
+
+from .injector import FailureEvent, FailureInjector
+
+__all__ = ["FailureInjector", "FailureEvent"]

@@ -1,0 +1,116 @@
+"""Failure injection for the Section 4 failure scenarios.
+
+Three scenarios, each with a scheduled injection and recovery:
+
+1. **Proxy failure** — the proxy misses invalidations while down; on
+   recovery it marks all cache entries questionable.
+2. **Server-site failure** — accelerator + HTTPD die together; volatile
+   site lists are lost; on recovery the persistent known-sites log drives
+   INVALIDATE-by-server messages to every proxy ever seen.
+3. **Network partition** — invalidations cannot cross the cut; the
+   reliable channel retries periodically until the partition heals.
+
+:class:`FailureInjector` schedules these against a running simulation; it
+is deliberately independent of the replay harness so both unit tests and
+full experiments can use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from ..net import Network
+from ..proxy import ProxyCache
+from ..server import ServerSite
+from ..sim import Simulator
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A recorded injection or recovery, for assertions and reports."""
+
+    time: float
+    kind: str
+    target: str
+
+
+@dataclass
+class FailureInjector:
+    """Schedules crashes, recoveries and partitions."""
+
+    sim: Simulator
+    network: Network
+    log: List[FailureEvent] = field(default_factory=list)
+
+    def _record(self, kind: str, target: str) -> None:
+        self.log.append(FailureEvent(time=self.sim.now, kind=kind, target=target))
+
+    # -- proxy ---------------------------------------------------------------
+
+    def schedule_proxy_crash(
+        self, proxy: ProxyCache, at: float, recover_at: float
+    ) -> None:
+        """Crash a proxy at ``at`` and recover it at ``recover_at``."""
+        if recover_at <= at:
+            raise ValueError("recovery must follow the crash")
+
+        def crash() -> None:
+            proxy.crash()
+            self._record("proxy-crash", proxy.address)
+
+        def recover() -> None:
+            flagged = proxy.recover()
+            self._record(f"proxy-recover({flagged} questionable)", proxy.address)
+
+        self.sim.schedule_callback(at - self.sim.now, crash)
+        self.sim.schedule_callback(recover_at - self.sim.now, recover)
+
+    # -- server site -----------------------------------------------------------
+
+    def schedule_server_crash(
+        self, server: ServerSite, at: float, recover_at: float
+    ) -> None:
+        """Crash the server site at ``at``; recover (with the
+        INVALIDATE-by-server fan-out) at ``recover_at``."""
+        if recover_at <= at:
+            raise ValueError("recovery must follow the crash")
+
+        def crash() -> None:
+            server.crash()
+            self._record("server-crash", server.address)
+
+        def recover() -> None:
+            server.recover()
+            self._record("server-recover", server.address)
+
+        self.sim.schedule_callback(at - self.sim.now, crash)
+        self.sim.schedule_callback(recover_at - self.sim.now, recover)
+
+    # -- partition ----------------------------------------------------------
+
+    def schedule_partition(
+        self,
+        group_a: Iterable[str],
+        group_b: Iterable[str],
+        at: float,
+        heal_at: float,
+    ) -> None:
+        """Partition two groups at ``at``; heal all partitions at
+        ``heal_at``."""
+        if heal_at <= at:
+            raise ValueError("heal must follow the partition")
+        group_a, group_b = list(group_a), list(group_b)
+
+        def cut() -> None:
+            self.network.partition(group_a, group_b)
+            self._record("partition", f"{group_a}|{group_b}")
+
+        def heal() -> None:
+            self.network.heal()
+            self._record("heal", "all")
+
+        self.sim.schedule_callback(at - self.sim.now, cut)
+        self.sim.schedule_callback(heal_at - self.sim.now, heal)

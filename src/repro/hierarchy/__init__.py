@@ -1,0 +1,5 @@
+"""Hierarchical caching extension (the Worrell [14] configuration)."""
+
+from .parent import ParentProxy
+
+__all__ = ["ParentProxy"]

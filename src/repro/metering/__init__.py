@@ -1,0 +1,5 @@
+"""Hit-metering extension (Mogul/Leach draft; paper Section 7)."""
+
+from .meter import HitMeter, UsageLedger
+
+__all__ = ["HitMeter", "UsageLedger"]

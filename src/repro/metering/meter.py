@@ -1,0 +1,102 @@
+"""HTTP hit metering (the paper's Section 7 integration point).
+
+"For those commercial Web sites that want to control the accesses to its
+contents, invalidation should be merged with other hit-metering
+protocols [10] to provide both the benefits of caching and the
+capability of access control."  [10] is the Mogul/Leach HTTP
+hit-metering draft: proxies count the cache hits they serve and report
+them back to the origin piggybacked on their next request for the
+document, so providers keep accurate access counts without defeating
+caching.
+
+Two pieces:
+
+* :class:`HitMeter` — proxy-side per-URL counters of locally-served
+  hits not yet reported upstream.
+* :class:`UsageLedger` — server-side aggregation of directly-observed
+  requests plus proxy-reported hits.
+
+The conservation law (checked by tests): for every document,
+``ledger total + unreported meter residue == true access count``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+__all__ = ["HitMeter", "UsageLedger"]
+
+
+class HitMeter:
+    """Proxy-side counts of cache hits pending report to the origin."""
+
+    def __init__(self) -> None:
+        self._pending: Counter = Counter()
+        self.total_recorded = 0
+        self.total_reported = 0
+
+    def record(self, url: str, count: int = 1) -> None:
+        """Note ``count`` locally-served hits for ``url``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._pending[url] += count
+        self.total_recorded += count
+
+    def take(self, url: str) -> int:
+        """Drain the pending count for ``url`` (to piggyback upstream)."""
+        count = self._pending.pop(url, 0)
+        self.total_reported += count
+        return count
+
+    def pending(self, url: str) -> int:
+        """Hits recorded for ``url`` but not yet reported."""
+        return self._pending[url]
+
+    @property
+    def total_pending(self) -> int:
+        """All unreported hits across URLs."""
+        return sum(self._pending.values())
+
+
+class UsageLedger:
+    """Origin-side per-document access accounting."""
+
+    def __init__(self) -> None:
+        self._direct: Counter = Counter()
+        self._reported: Counter = Counter()
+
+    def record_request(self, url: str) -> None:
+        """One request observed directly at the origin."""
+        self._direct[url] += 1
+
+    def record_reported_hits(self, url: str, count: int) -> None:
+        """Cache hits reported by a proxy's meter."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._reported[url] += count
+
+    def direct(self, url: str) -> int:
+        """Requests the origin saw itself."""
+        return self._direct[url]
+
+    def reported(self, url: str) -> int:
+        """Hits proxies reported for ``url``."""
+        return self._reported[url]
+
+    def total(self, url: str) -> int:
+        """Best-known access count for ``url``."""
+        return self._direct[url] + self._reported[url]
+
+    def grand_total(self) -> int:
+        """Accesses across all documents."""
+        return sum(self._direct.values()) + sum(self._reported.values())
+
+    def top(self, n: int = 10):
+        """The ``n`` most-accessed documents as (url, total) pairs."""
+        totals = Counter()
+        for url, count in self._direct.items():
+            totals[url] += count
+        for url, count in self._reported.items():
+            totals[url] += count
+        return totals.most_common(n)

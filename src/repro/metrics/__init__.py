@@ -1,0 +1,7 @@
+"""Measurement layer: counters, latency stats, iostat-style sampling."""
+
+from .counters import ReplayCounters
+from .iostat import IostatSample, IostatSampler
+from .latency import LatencyStats
+
+__all__ = ["ReplayCounters", "LatencyStats", "IostatSampler", "IostatSample"]

@@ -1,0 +1,89 @@
+"""Streaming latency statistics (avg / min / max / percentiles).
+
+Tables 3-4 report average, minimum and maximum client response times; we
+additionally keep a bounded reservoir so percentiles can be reported
+without storing every sample of a 60k-request replay.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+__all__ = ["LatencyStats"]
+
+
+class LatencyStats:
+    """Online mean/min/max plus reservoir-sampled percentiles."""
+
+    def __init__(self, reservoir_size: int = 4096, seed: int = 0) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._reservoir: List[float] = []
+        self._reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        if value < 0:
+            raise ValueError(f"negative latency {value!r}")
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Average latency (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return self.minimum if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return self.maximum if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile from the reservoir, p in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError("p must be in [0, 100]")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold another stats object into this one."""
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        for value in other._reservoir:
+            if len(self._reservoir) < self._reservoir_size:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self._reservoir_size:
+                    self._reservoir[slot] = value
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyStats(n={self.count}, mean={self.mean:.4f}, "
+            f"min={self.min:.4f}, max={self.max:.4f})"
+        )

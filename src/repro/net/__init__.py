@@ -1,0 +1,22 @@
+"""Simulated network substrate: fabric, latency models, reliable channel."""
+
+from .channel import DeliveryFailed, DeliveryReport, ReliableChannel
+from .latency import FixedLatency, LanModel, LatencyModel, WanModel
+from .message import Address, Message
+from .network import Network, Unreachable
+from .stats import NetworkStats
+
+__all__ = [
+    "Address",
+    "Message",
+    "Network",
+    "Unreachable",
+    "NetworkStats",
+    "LatencyModel",
+    "LanModel",
+    "WanModel",
+    "FixedLatency",
+    "ReliableChannel",
+    "DeliveryReport",
+    "DeliveryFailed",
+]

@@ -1,0 +1,78 @@
+"""Reliable delivery on top of the best-effort fabric.
+
+The paper sends invalidation messages over TCP "and when the TCP message
+fails, use periodic retry" (Section 4, failure handling).
+:class:`ReliableChannel` packages exactly that: a generator helper that a
+simulation process yields from until the message is finally delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .message import Message
+from .network import Network, Unreachable
+
+__all__ = ["ReliableChannel", "DeliveryReport", "DeliveryFailed"]
+
+
+class DeliveryFailed(Exception):
+    """Raised when ``max_retries`` is exhausted without a delivery."""
+
+    def __init__(self, message: Message, attempts: int) -> None:
+        super().__init__(f"{message!r} undelivered after {attempts} attempts")
+        self.message = message
+        self.attempts = attempts
+
+
+@dataclass
+class DeliveryReport:
+    """Outcome of a reliable send."""
+
+    message: Message
+    attempts: int
+    delivered_at: float
+
+
+class ReliableChannel:
+    """TCP-with-periodic-retry delivery.
+
+    Args:
+        network: the fabric to send over.
+        retry_interval: seconds between attempts after a failure.
+        max_retries: give up (raise :class:`DeliveryFailed`) after this many
+            *re*-tries; ``None`` retries forever, matching the paper.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        retry_interval: float = 30.0,
+        max_retries: Optional[int] = None,
+    ) -> None:
+        if retry_interval <= 0:
+            raise ValueError("retry_interval must be positive")
+        self.network = network
+        self.retry_interval = retry_interval
+        self.max_retries = max_retries
+
+    def deliver(self, message: Message):
+        """Generator: yield from inside a process to send reliably.
+
+        Returns a :class:`DeliveryReport` once the message lands.
+        """
+        sim = self.network.sim
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                yield self.network.send(message)
+            except Unreachable:
+                if self.max_retries is not None and attempts > self.max_retries:
+                    raise DeliveryFailed(message, attempts)
+                yield sim.timeout(self.retry_interval)
+                continue
+            return DeliveryReport(
+                message=message, attempts=attempts, delivered_at=sim.now
+            )

@@ -1,0 +1,147 @@
+"""The network fabric: registration, delivery, failures and partitions.
+
+Delivery semantics model a TCP connection at the granularity the paper
+cares about:
+
+* A send to a reachable, live node is delivered after the latency model's
+  one-way delay; the event returned by :meth:`Network.send` succeeds at the
+  moment of delivery (the sender can treat that as "the TCP send
+  completed").
+* A send to a down node or across a partition fails with
+  :class:`Unreachable` after ``connect_timeout`` seconds, mirroring a
+  refused/timed-out connection.  Fire-and-forget senders may ignore the
+  returned event; the failure is pre-defused so it never crashes the run.
+* Reachability is also re-checked at delivery time, so a node that dies (or
+  a partition that forms) while a message is in flight loses the message.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..sim import Event, Simulator
+from .latency import LanModel, LatencyModel
+from .message import Address, Message
+from .stats import NetworkStats
+
+__all__ = ["Network", "Unreachable"]
+
+
+class Unreachable(Exception):
+    """Raised (via the send event) when a message cannot be delivered."""
+
+    def __init__(self, message: Message, reason: str) -> None:
+        super().__init__(f"{message!r} undeliverable: {reason}")
+        self.message = message
+        self.reason = reason
+
+
+class Network:
+    """Connects registered nodes and moves :class:`Message`s between them."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        stats: Optional[NetworkStats] = None,
+        connect_timeout: float = 3.0,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency or LanModel()
+        self.stats = stats or NetworkStats()
+        self.connect_timeout = connect_timeout
+        self._handlers: Dict[Address, Callable[[Message], None]] = {}
+        self._down: Set[Address] = set()
+        self._partitions: List[Tuple[frozenset, frozenset]] = []
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, address: Address, handler: Callable[[Message], None]) -> None:
+        """Attach a node; ``handler(message)`` runs at each delivery."""
+        if address in self._handlers:
+            raise ValueError(f"address {address!r} already registered")
+        self._handlers[address] = handler
+
+    def unregister(self, address: Address) -> None:
+        """Detach a node entirely (it becomes unknown, not merely down)."""
+        self._handlers.pop(address, None)
+
+    @property
+    def addresses(self) -> Tuple[Address, ...]:
+        """All registered addresses."""
+        return tuple(self._handlers)
+
+    # -- failures -----------------------------------------------------------
+
+    def set_down(self, address: Address) -> None:
+        """Mark a node as crashed; sends to it fail until :meth:`set_up`."""
+        self._down.add(address)
+
+    def set_up(self, address: Address) -> None:
+        """Bring a crashed node back."""
+        self._down.discard(address)
+
+    def is_up(self, address: Address) -> bool:
+        """True when the node is registered and not crashed."""
+        return address in self._handlers and address not in self._down
+
+    def partition(self, group_a: Iterable[Address], group_b: Iterable[Address]) -> None:
+        """Cut connectivity between every pair across the two groups."""
+        self._partitions.append((frozenset(group_a), frozenset(group_b)))
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partitions.clear()
+
+    def is_reachable(self, src: Address, dst: Address) -> bool:
+        """True when no partition separates ``src`` from ``dst``."""
+        for group_a, group_b in self._partitions:
+            if (src in group_a and dst in group_b) or (
+                src in group_b and dst in group_a
+            ):
+                return False
+        return True
+
+    # -- transport ------------------------------------------------------------
+
+    def send(self, message: Message) -> Event:
+        """Send a message; returns an event tracking the outcome.
+
+        The event succeeds with the message at delivery time, or fails with
+        :class:`Unreachable` after the connect timeout.  The failure is
+        pre-defused: senders that do not wait on the event are not crashed
+        by it (the channel layer is the place for retry logic).
+        """
+        outcome = Event(self.sim)
+
+        def fail(reason: str, delay: float) -> None:
+            def do_fail() -> None:
+                self.stats.record_drop(message)
+                outcome._defused = True
+                outcome.fail(Unreachable(message, reason))
+
+            self.sim.schedule_callback(delay, do_fail)
+
+        if message.dst not in self._handlers:
+            fail("unknown address", self.connect_timeout)
+            return outcome
+        if message.dst in self._down or not self.is_reachable(message.src, message.dst):
+            fail("host unreachable", self.connect_timeout)
+            return outcome
+
+        def deliver() -> None:
+            # Re-check at delivery time: the destination may have crashed or
+            # been partitioned away while the message was in flight.
+            if message.dst in self._down or not self.is_reachable(
+                message.src, message.dst
+            ):
+                self.stats.record_drop(message)
+                outcome._defused = True
+                outcome.fail(Unreachable(message, "lost in flight"))
+                return
+            self.stats.record_delivery(message)
+            outcome.succeed(message)
+            self._handlers[message.dst](message)
+
+        self.sim.schedule_callback(self.latency.delay(message), deliver)
+        return outcome

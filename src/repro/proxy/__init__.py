@@ -1,0 +1,15 @@
+"""Proxy cache substrate: entries, bounded cache storage, proxy node."""
+
+from .cache import Cache
+from .entry import CacheEntry, entry_key
+from .proxy import ProxyCache, ProxyCosts, RequestFailed, RequestOutcome
+
+__all__ = [
+    "Cache",
+    "CacheEntry",
+    "entry_key",
+    "ProxyCache",
+    "ProxyCosts",
+    "RequestOutcome",
+    "RequestFailed",
+]

@@ -1,0 +1,200 @@
+"""Bounded cache storage with the paper's two replacement behaviours.
+
+* Plain **LRU** — used by polling-every-time and the invalidation family.
+* **Expired-first LRU** — Harvest's behaviour under adaptive TTL: when
+  space is needed, documents whose TTL has expired are replaced first
+  (earliest expiry first), falling back to LRU.  Section 5.2 attributes
+  SASK's lower TTL hit ratio to exactly this policy interacting with
+  adaptive TTL's conservative lifetime estimates, so it must be modelled.
+
+Invalidation benefits symmetrically: deleting stale copies on INVALIDATE
+"frees up cache space for fresh documents" — :meth:`Cache.remove` returns
+the freed bytes for that accounting.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set
+
+from .entry import CacheEntry
+
+__all__ = ["Cache"]
+
+
+class Cache:
+    """Byte-capacity cache of :class:`CacheEntry` keyed ``url@clientid``.
+
+    Args:
+        capacity_bytes: total budget; ``None`` means unbounded.
+        expired_first: use Harvest's expired-first replacement (TTL runs).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        expired_first: bool = False,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive (or None)")
+        self.capacity_bytes = capacity_bytes
+        self.expired_first = expired_first
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._used = 0
+        # URL -> cache keys holding it (all clients); lets piggybacked
+        # invalidations drop every copy of a document in O(copies).
+        self._by_url: Dict[str, Set[str]] = {}
+        # Lazy min-heap of (expires, seq, key) for expired-first victims.
+        self._expiry_heap: List = []
+        self._heap_seq = itertools.count()
+        self.evictions = 0
+        self.expired_evictions = 0
+        self.insertions = 0
+        self.uncacheable = 0
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently cached."""
+        return self._used
+
+    def keys(self):
+        """Current cache keys, LRU order (oldest first)."""
+        return list(self._entries)
+
+    # -- operations -------------------------------------------------------------
+
+    def get(self, key: str, now: float) -> Optional[CacheEntry]:
+        """Look up an entry, refreshing its recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        entry.last_used = now
+        self._entries.move_to_end(key)
+        return entry
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Look up without touching recency (for tests/metrics)."""
+        return self._entries.get(key)
+
+    def put(self, entry: CacheEntry, now: float) -> bool:
+        """Insert (or replace) an entry, evicting as needed.
+
+        Returns False when the document is larger than the whole cache
+        (it is served but not cached, as real proxies do).
+        """
+        if self.capacity_bytes is not None and entry.size > self.capacity_bytes:
+            self.uncacheable += 1
+            return False
+        old = self._entries.pop(entry.key, None)
+        if old is not None:
+            self._used -= old.size
+            self._unindex(old)
+        while (
+            self.capacity_bytes is not None
+            and self._used + entry.size > self.capacity_bytes
+        ):
+            self._evict_one(now)
+        entry.last_used = now
+        self._entries[entry.key] = entry
+        self._used += entry.size
+        self._by_url.setdefault(entry.url, set()).add(entry.key)
+        self.insertions += 1
+        if self.expired_first:
+            heapq.heappush(
+                self._expiry_heap, (entry.expires, next(self._heap_seq), entry.key)
+            )
+        return True
+
+    def remove(self, key: str) -> int:
+        """Delete an entry (e.g. on INVALIDATE); returns bytes freed."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return 0
+        self._used -= entry.size
+        self._unindex(entry)
+        return entry.size
+
+    def remove_url(self, url: str) -> int:
+        """Delete every client's copy of ``url``; returns copies removed.
+
+        Used by piggybacked invalidation, which names documents rather
+        than (document, client) pairs.
+        """
+        keys = self._by_url.pop(url, None)
+        if not keys:
+            return 0
+        removed = 0
+        for key in list(keys):
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._used -= entry.size
+                removed += 1
+        return removed
+
+    def _unindex(self, entry: CacheEntry) -> None:
+        keys = self._by_url.get(entry.url)
+        if keys is not None:
+            keys.discard(entry.key)
+            if not keys:
+                del self._by_url[entry.url]
+
+    def mark_all_questionable(self) -> int:
+        """Flag every entry as needing revalidation; returns the count.
+
+        Used on proxy recovery and on INVALIDATE-by-server messages.
+        """
+        for entry in self._entries.values():
+            entry.questionable = True
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop everything (proxy cold restart)."""
+        self._entries.clear()
+        self._expiry_heap.clear()
+        self._by_url.clear()
+        self._used = 0
+
+    # -- replacement ------------------------------------------------------------
+
+    def _evict_one(self, now: float) -> None:
+        if not self._entries:
+            raise RuntimeError("cache accounting error: nothing to evict")
+        if self.expired_first:
+            key = self._pop_expired_victim(now)
+            if key is not None:
+                entry = self._entries.pop(key)
+                self._used -= entry.size
+                self._unindex(entry)
+                self.evictions += 1
+                self.expired_evictions += 1
+                return
+        # LRU fallback: OrderedDict front is least recently used.
+        _key, entry = self._entries.popitem(last=False)
+        self._used -= entry.size
+        self._unindex(entry)
+        self.evictions += 1
+
+    def _pop_expired_victim(self, now: float) -> Optional[str]:
+        """Earliest-expiring *expired* entry, skipping stale heap records."""
+        heap = self._expiry_heap
+        while heap:
+            expires, _seq, key = heap[0]
+            entry = self._entries.get(key)
+            if entry is None or entry.expires != expires:
+                heapq.heappop(heap)  # stale record
+                continue
+            if expires <= now:
+                heapq.heappop(heap)
+                return key
+            return None  # earliest expiry is in the future
+        return None

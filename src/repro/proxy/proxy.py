@@ -1,0 +1,362 @@
+"""The proxy cache (Harvest ``cached`` stand-in).
+
+One :class:`ProxyCache` runs per pseudo-client workstation and serves the
+real clients sharded onto it.  Per the paper's methodology:
+
+* cached objects are keyed ``url@clientid`` so each real client has a
+  private cache, and the real clientid travels with every GET so the
+  accelerator can register the site;
+* INVALIDATE-by-URL deletes the one client's copy; INVALIDATE-by-server
+  marks every entry questionable (revalidate before use);
+* a recovering proxy marks all its entries questionable.
+
+The consistency *decision* (serve the cached copy vs. validate) is
+delegated to a client policy object (see :mod:`repro.core.protocol`), so
+the three approaches share every other code path — mirroring the paper's
+single-Harvest-codebase methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..http import (
+    NOT_MODIFIED,
+    OK,
+    HttpRequest,
+    HttpResponse,
+    Invalidate,
+    make_get,
+    make_ims,
+)
+from ..http.wire import DEFAULT_WIRE, WireCosts
+from ..net import Message, Network, Unreachable
+from ..sim import AnyOf, Event, Simulator
+from .cache import Cache
+from .entry import CacheEntry, entry_key
+
+__all__ = ["ProxyCache", "ProxyCosts", "RequestOutcome", "RequestFailed"]
+
+
+class RequestFailed(Exception):
+    """A client request could not be completed (server down/partition)."""
+
+
+@dataclass(frozen=True)
+class ProxyCosts:
+    """CPU seconds charged per proxy operation (latency model only)."""
+
+    cpu_lookup: float = 0.0008
+    cpu_insert: float = 0.0010
+    cpu_serve_per_kb: float = 0.00008
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one client request (the metrics layer's input)."""
+
+    url: str
+    client_id: str
+    started: float
+    finished: float = 0.0
+    had_cached_copy: bool = False
+    served_from_cache: bool = False
+    validated: bool = False
+    fetched: bool = False
+    status: Optional[int] = None
+    transfer: bool = False
+    body_bytes: int = 0
+    #: An *unvalidated* serve of outdated content (the paper's stale
+    #: hits).  Serves freshly confirmed by a 304 are fresh by definition
+    #: — a write that lands between the validation and the serve has not
+    #: completed with respect to this read.
+    stale_served: bool = False
+    #: How far behind the served copy was (served mtime vs current),
+    #: seconds; 0 when fresh.
+    staleness_age: float = 0.0
+    #: Strong-consistency violation: the served copy's INVALIDATE had
+    #: already been *delivered* to this proxy (the write was complete).
+    #: Must never happen; guards against protocol races.
+    violation: bool = False
+    hit: bool = False
+    failed: bool = False
+
+    @property
+    def latency(self) -> float:
+        """Client-observed response time."""
+        return self.finished - self.started
+
+
+class ProxyCache:
+    """A caching proxy node.
+
+    Args:
+        sim: simulator.
+        network: fabric this proxy is attached to.
+        address: this proxy's network address.
+        server_address: the origin server site.
+        policy: client consistency policy (see :mod:`repro.core.protocol`).
+        cache: storage (shared by this proxy's real clients).
+        oracle: optional ``url -> last_modified`` used *only for
+            measurement* — it flags stale serves (the paper counts
+            adaptive TTL's stale hits); it never influences behaviour.
+        meter: optional :class:`repro.metering.HitMeter` — when present,
+            unvalidated cache serves are counted and piggybacked on the
+            next upstream request for the URL (Section 7 hit metering).
+        reply_timeout: seconds before an unanswered request fails.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: str,
+        server_address: str,
+        policy,
+        cache: Optional[Cache] = None,
+        wire: WireCosts = DEFAULT_WIRE,
+        costs: ProxyCosts = ProxyCosts(),
+        oracle: Optional[Callable[[str], float]] = None,
+        meter=None,
+        reply_timeout: float = 30.0,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.server_address = server_address
+        self.policy = policy
+        self.cache = cache if cache is not None else Cache()
+        self.wire = wire
+        self.costs = costs
+        self.oracle = oracle
+        self.meter = meter
+        self.reply_timeout = reply_timeout
+
+        self._pending: Dict[int, Event] = {}
+        #: INVALIDATEs that arrived before the copy they target (the
+        #: fetch reply was still in flight).  The eventual insert is
+        #: marked questionable so it revalidates before first reuse —
+        #: AFS-style callback-race handling.
+        self._tombstones: Dict[str, float] = {}
+        #: Delivery time of the last INVALIDATE per cache key (write
+        #: completion marker for the violation check).
+        self._last_invalidated: Dict[str, float] = {}
+        self.invalidations_received = 0
+        self.piggyback_copies_removed = 0
+        self.server_invalidations_received = 0
+        self.questionable_validations = 0
+        self.failed_requests = 0
+        self.up = True
+        network.register(address, self._receive)
+
+    # ------------------------------------------------------------------
+    # network receive path
+    # ------------------------------------------------------------------
+
+    def _receive(self, message: Message) -> None:
+        if not self.up:
+            return
+        if isinstance(message, HttpResponse):
+            if message.piggyback_invalidations:
+                # PSI extension: the reply names documents modified since
+                # our last contact; drop every client's copy of each.
+                for url in message.piggyback_invalidations:
+                    self.piggyback_copies_removed += self.cache.remove_url(url)
+            waiter = self._pending.pop(message.reply_to, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(message)
+        elif isinstance(message, Invalidate):
+            self._handle_invalidate(message)
+
+    def _handle_invalidate(self, message: Invalidate) -> None:
+        if message.url is not None:
+            # Delete the targeted clients' copies; if one is not cached,
+            # the invalidation may have overtaken an in-flight fetch
+            # reply — tombstone the key so the eventual insert
+            # revalidates.  (The multicast form covers several clients.)
+            for client_id in message.target_clients:
+                key = entry_key(message.url, client_id)
+                if self.cache.remove(key) == 0:
+                    self._tombstones[key] = self.sim.now
+                self._last_invalidated[key] = self.sim.now
+            self.invalidations_received += 1
+        else:
+            # Server-address form: everything from that server becomes
+            # questionable (we model a single origin server per fabric).
+            self.cache.mark_all_questionable()
+            self.server_invalidations_received += 1
+
+    # ------------------------------------------------------------------
+    # client request path
+    # ------------------------------------------------------------------
+
+    def request(self, client_id: str, url: str):
+        """Handle one browser request; yields sim events, returns outcome.
+
+        Intended use from a pseudo-client process::
+
+            outcome = yield from proxy.request("client-7", "/doc")
+        """
+        sim = self.sim
+        outcome = RequestOutcome(url=url, client_id=client_id, started=sim.now)
+        yield sim.timeout(self.costs.cpu_lookup)
+
+        entry = self.cache.get(entry_key(url, client_id), sim.now)
+        outcome.had_cached_copy = entry is not None
+
+        try:
+            if entry is None:
+                yield from self._fill(client_id, url, outcome)
+            else:
+                action = (
+                    "validate"
+                    if entry.questionable
+                    else self.policy.action(entry, sim.now)
+                )
+                if action == "serve":
+                    yield from self._serve_cached(entry, outcome)
+                elif action == "validate":
+                    if entry.questionable:
+                        self.questionable_validations += 1
+                    yield from self._validate(entry, outcome)
+                else:
+                    raise ValueError(f"policy returned unknown action {action!r}")
+        except RequestFailed:
+            outcome.failed = True
+            self.failed_requests += 1
+
+        outcome.finished = sim.now
+        outcome.hit = (not outcome.failed) and self.policy.is_hit(outcome)
+        if (
+            self.meter is not None
+            and outcome.served_from_cache
+            and not outcome.validated
+        ):
+            # Locally-served hit the origin never saw: meter it for the
+            # next piggybacked report.
+            self.meter.record(url)
+        return outcome
+
+    def _serve_cached(self, entry: CacheEntry, outcome: RequestOutcome):
+        yield self.sim.timeout(self.costs.cpu_serve_per_kb * entry.size / 1024.0)
+        outcome.served_from_cache = True
+        outcome.body_bytes = entry.size
+        if self.oracle is not None and not outcome.validated:
+            current = self.oracle(entry.url)
+            if current > entry.last_modified:
+                outcome.stale_served = True
+                outcome.staleness_age = current - entry.last_modified
+        # A copy fetched before its own invalidation was delivered must
+        # never be served afterwards.
+        outcome.violation = entry.fetched_at <= self._last_invalidated.get(
+            entry.key, float("-inf")
+        )
+
+    def _fill(self, client_id: str, url: str, outcome: RequestOutcome):
+        request = make_get(
+            self.address,
+            self.server_address,
+            url,
+            client_id=client_id,
+            wire=self.wire,
+            want_lease=getattr(self.policy, "want_lease_get", False),
+        )
+        if self.meter is not None:
+            request.reported_hits = self.meter.take(url)
+        outcome.fetched = True
+        response = yield from self._roundtrip(request)
+        self._insert_from_response(response, client_id)
+        yield self.sim.timeout(self.costs.cpu_insert)
+        outcome.status = response.status
+        outcome.transfer = True
+        outcome.body_bytes = response.body_bytes
+
+    def _validate(self, entry: CacheEntry, outcome: RequestOutcome):
+        request = make_ims(
+            self.address,
+            self.server_address,
+            entry.url,
+            client_id=entry.client_id,
+            ims_timestamp=entry.last_modified,
+            wire=self.wire,
+            want_lease=getattr(self.policy, "want_lease_ims", False),
+        )
+        if self.meter is not None:
+            request.reported_hits = self.meter.take(entry.url)
+        outcome.validated = True
+        response = yield from self._roundtrip(request)
+        outcome.status = response.status
+        if response.status == NOT_MODIFIED:
+            entry.questionable = False
+            # The server just confirmed freshness: the copy is as good as
+            # one fetched now (resets the violation baseline too).
+            entry.fetched_at = self.sim.now
+            if response.lease_expires is not None:
+                entry.lease_expires = response.lease_expires
+            self.policy.on_validated(entry, response, self.sim.now)
+            yield from self._serve_cached(entry, outcome)
+        else:
+            # New version: replace the cached copy and serve the new body.
+            self.cache.remove(entry.key)
+            self._insert_from_response(response, entry.client_id)
+            yield self.sim.timeout(self.costs.cpu_insert)
+            outcome.transfer = True
+            outcome.body_bytes = response.body_bytes
+
+    def _insert_from_response(self, response: HttpResponse, client_id: str) -> None:
+        if response.status != OK:
+            raise ValueError(f"cannot cache a {response.status} reply")
+        entry = CacheEntry(
+            url=response.url,
+            client_id=client_id,
+            size=response.body_bytes,
+            last_modified=response.last_modified,
+            fetched_at=self.sim.now,
+        )
+        if response.lease_expires is not None:
+            entry.lease_expires = response.lease_expires
+        if self._tombstones.pop(entry.key, None) is not None:
+            # An INVALIDATE raced ahead of this reply: don't trust the
+            # copy until it has been revalidated.
+            entry.questionable = True
+        self.policy.on_fill(entry, response, self.sim.now)
+        self.cache.put(entry, self.sim.now)
+
+    def _roundtrip(self, request: HttpRequest):
+        """Send a request, wait for the matching reply (or fail)."""
+        sim = self.sim
+        waiter = Event(sim)
+        self._pending[request.msg_id] = waiter
+        try:
+            yield self.network.send(request)
+        except Unreachable:
+            self._pending.pop(request.msg_id, None)
+            raise RequestFailed(f"server unreachable for {request.url}")
+        timeout = sim.timeout(self.reply_timeout)
+        result = yield AnyOf(sim, [waiter, timeout])
+        if waiter not in result:
+            self._pending.pop(request.msg_id, None)
+            raise RequestFailed(f"no reply for {request.url} within timeout")
+        if not timeout.processed:
+            timeout.cancel()  # retire the timer so it never idles the clock
+        return waiter.value
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Proxy host dies; cached objects survive on disk (Harvest)."""
+        self.up = False
+        self.network.set_down(self.address)
+        self._pending.clear()
+
+    def recover(self) -> int:
+        """Restart; all entries become questionable (Section 4).
+
+        Returns how many entries were flagged.
+        """
+        self.up = True
+        self.network.set_up(self.address)
+        return self.cache.mark_all_questionable()

@@ -1,0 +1,40 @@
+"""Trace-replay harness: coordinator, pseudo-clients, experiments."""
+
+from .audit import AuditError, audit_result
+from .coordinator import TimeCoordinator
+from .experiment import ExperimentConfig, ExperimentResult, run_experiment
+from .pseudo_client import PseudoClient, shard_for_client, shard_records
+from .results import (
+    comparison_rows,
+    format_comparison_table,
+    format_invalidation_costs,
+)
+from .serialize import (
+    read_results_json,
+    result_to_dict,
+    results_to_json,
+    write_results_json,
+)
+from .sweep import SweepResult, sweep, sweep_table
+
+__all__ = [
+    "TimeCoordinator",
+    "PseudoClient",
+    "shard_for_client",
+    "shard_records",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "comparison_rows",
+    "format_comparison_table",
+    "format_invalidation_costs",
+    "audit_result",
+    "AuditError",
+    "sweep",
+    "sweep_table",
+    "SweepResult",
+    "result_to_dict",
+    "results_to_json",
+    "write_results_json",
+    "read_results_json",
+]

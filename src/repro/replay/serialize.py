@@ -1,0 +1,104 @@
+"""Result serialization: JSON in/out for analysis pipelines.
+
+`ExperimentResult` nests live counter objects; this module flattens a
+result into plain JSON-compatible dictionaries (and back into a
+read-only summary form) so sweeps can be archived, diffed and plotted
+outside Python.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Sequence
+
+from .experiment import ExperimentResult
+
+__all__ = ["result_to_dict", "results_to_json", "write_results_json", "read_results_json"]
+
+#: Scalar fields copied verbatim from the result.
+_SCALAR_FIELDS = [
+    "protocol",
+    "trace_name",
+    "mean_lifetime",
+    "total_requests",
+    "files_modified",
+    "gets",
+    "ims",
+    "replies_200",
+    "replies_304",
+    "invalidations",
+    "total_messages",
+    "message_bytes",
+    "cpu_utilization",
+    "disk_utilization",
+    "disk_reads_per_sec",
+    "disk_writes_per_sec",
+    "sitelist_storage_bytes",
+    "sitelist_entries",
+    "sitelist_avg_len",
+    "sitelist_max_len",
+    "invalidation_time_avg",
+    "invalidation_time_max",
+    "invalidations_sent",
+    "origin_requests",
+    "origin_replies_200",
+    "origin_replies_304",
+    "parent_upstream_fetches",
+    "parent_invalidations_forwarded",
+    "wall_time",
+]
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Flatten one result into a JSON-compatible dictionary."""
+    data: Dict[str, Any] = {name: getattr(result, name) for name in _SCALAR_FIELDS}
+    counters = result.counters
+    data["counters"] = {
+        "requests": counters.requests,
+        "hits": counters.hits,
+        "misses": counters.misses,
+        "transfers": counters.transfers,
+        "validations": counters.validations,
+        "served_from_cache": counters.served_from_cache,
+        "stale_serves": counters.stale_serves,
+        "violations": counters.violations,
+        "failed": counters.failed,
+        "hit_ratio": counters.hit_ratio,
+        "body_bytes_from_cache": counters.body_bytes_from_cache,
+        "body_bytes_transferred": counters.body_bytes_transferred,
+    }
+    data["latency"] = {
+        "mean": counters.latency.mean,
+        "min": counters.latency.min,
+        "max": counters.latency.max,
+        "p50": counters.latency.percentile(50),
+        "p95": counters.latency.percentile(95),
+        "p99": counters.latency.percentile(99),
+        "count": counters.latency.count,
+    }
+    data["staleness"] = {
+        "mean": counters.staleness.mean,
+        "max": counters.staleness.max,
+        "count": counters.staleness.count,
+    }
+    return data
+
+
+def results_to_json(results: Sequence[ExperimentResult], indent: int = 2) -> str:
+    """Serialize a list of results to a JSON string."""
+    return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+def write_results_json(results: Sequence[ExperimentResult], out: IO[str]) -> int:
+    """Write results as JSON; returns the number of results written."""
+    out.write(results_to_json(results))
+    out.write("\n")
+    return len(results)
+
+
+def read_results_json(source: IO[str]) -> List[Dict[str, Any]]:
+    """Load archived results (as plain dictionaries)."""
+    data = json.load(source)
+    if not isinstance(data, list):
+        raise ValueError("expected a JSON list of results")
+    return data

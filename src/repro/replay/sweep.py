@@ -1,0 +1,96 @@
+"""Parameter-sweep utilities.
+
+The benchmarks hand-roll their sweeps; this module packages the pattern
+for users: run a grid of (label, config) experiments, collect results,
+and render a metric table.  Configurations derive from a base config via
+``dataclasses.replace``-style keyword overrides, so sweeps stay
+seed-consistent by construction.
+
+Example::
+
+    from repro.replay import ExperimentConfig, sweep, sweep_table
+
+    base = ExperimentConfig(trace=trace, protocol=invalidation(),
+                            mean_lifetime=14 * DAYS)
+    results = sweep(base, cache=[
+        ("16MB", {"proxy_cache_bytes": 16 << 20}),
+        ("64MB", {"proxy_cache_bytes": 64 << 20}),
+    ])
+    print(sweep_table(results, ["total_messages", "avg_latency"]))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = ["SweepResult", "sweep", "sweep_table"]
+
+#: One sweep point: a display label plus config-field overrides.
+SweepPoint = Tuple[str, Dict[str, object]]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """A labelled experiment result from a sweep."""
+
+    label: str
+    config: ExperimentConfig
+    result: ExperimentResult
+
+
+def sweep(
+    base: ExperimentConfig,
+    points: Sequence[SweepPoint],
+    runner: Callable[[ExperimentConfig], ExperimentResult] = run_experiment,
+) -> List[SweepResult]:
+    """Run the experiment grid derived from ``base``.
+
+    Args:
+        base: the configuration every point derives from.
+        points: ``(label, {field: value, ...})`` overrides.  Overriding
+            ``protocol`` per point is the common case for protocol
+            comparisons.
+        runner: injection point for caching/testing.
+    """
+    results = []
+    for label, overrides in points:
+        config = dataclasses.replace(base, **overrides)
+        results.append(
+            SweepResult(label=label, config=config, result=runner(config))
+        )
+    return results
+
+
+def sweep_table(
+    results: Sequence[SweepResult],
+    metrics: Sequence[str],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render sweep results as a label x metric text table.
+
+    ``metrics`` are attribute names on :class:`ExperimentResult`
+    (``"total_messages"``, ``"avg_latency"``, ``"cpu_utilization"``, ...).
+    """
+    if not results:
+        raise ValueError("no sweep results to format")
+    label_width = max(12, *(len(r.label) + 2 for r in results))
+    widths = [max(12, len(m) + 2) for m in metrics]
+    header = f"{'':{label_width}s}" + "".join(
+        f"{m:>{w}s}" for m, w in zip(metrics, widths)
+    )
+    lines = [header]
+    for item in results:
+        cells = []
+        for metric, width in zip(metrics, widths):
+            value = getattr(item.result, metric)
+            text = (
+                float_format.format(value)
+                if isinstance(value, float)
+                else str(value)
+            )
+            cells.append(f"{text:>{width}s}")
+        lines.append(f"{item.label:{label_width}s}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Origin-server substrate: file store, costs, site lists, server site."""
+
+from .accelerator import AcceleratorConfig
+from .costs import DEFAULT_SERVER_COSTS, ServerCosts
+from .filestore import Document, FileStore
+from .httpd import ServerSite
+from .lease_control import AdaptiveLeaseController
+from .sitelist import (
+    ENTRY_BYTES,
+    InvalidationTable,
+    KnownSitesLog,
+    SiteEntry,
+    SiteList,
+)
+
+__all__ = [
+    "Document",
+    "FileStore",
+    "ServerCosts",
+    "DEFAULT_SERVER_COSTS",
+    "AcceleratorConfig",
+    "ServerSite",
+    "AdaptiveLeaseController",
+    "SiteEntry",
+    "SiteList",
+    "InvalidationTable",
+    "KnownSitesLog",
+    "ENTRY_BYTES",
+]

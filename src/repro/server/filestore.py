@@ -1,0 +1,93 @@
+"""The pseudo-server's document file system.
+
+Holds every URL document with its size and last-modified time.  The
+modifier's ``touch`` goes through :meth:`FileStore.modify`; consistency
+checks (If-Modified-Since handling, stale-hit detection) compare against
+:attr:`Document.last_modified`.
+
+Initial modification times matter for adaptive TTL (its time-to-live is a
+fraction of the document's *age*), so :meth:`FileStore.from_catalog` draws
+each document's initial age from an exponential distribution with the
+workload's mean lifetime — the stationary age distribution of the paper's
+geometric-lifetime modification process.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional
+
+__all__ = ["Document", "FileStore"]
+
+
+@dataclass
+class Document:
+    """One server document."""
+
+    url: str
+    size: int
+    last_modified: float
+    version: int = 0
+
+
+class FileStore:
+    """URL -> :class:`Document` map with modification support."""
+
+    def __init__(self, documents: Mapping[str, Document]) -> None:
+        self._documents: Dict[str, Document] = dict(documents)
+        self.modification_count = 0
+
+    @classmethod
+    def from_catalog(
+        cls,
+        catalog: Mapping[str, int],
+        mean_initial_age: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> "FileStore":
+        """Build a store from ``{url: size}``.
+
+        With ``mean_initial_age > 0``, documents start with ages drawn from
+        an exponential distribution of that mean (times before the trace
+        start are negative timestamps).
+        """
+        rng = rng or random.Random(0)
+        documents = {}
+        for url, size in catalog.items():
+            age = rng.expovariate(1.0 / mean_initial_age) if mean_initial_age > 0 else 0.0
+            documents[url] = Document(url=url, size=size, last_modified=-age)
+        return cls(documents)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._documents)
+
+    @property
+    def urls(self) -> list:
+        """All document URLs."""
+        return list(self._documents)
+
+    def get(self, url: str) -> Document:
+        """Look up a document; raises ``KeyError`` for unknown URLs."""
+        return self._documents[url]
+
+    def modify(self, url: str, now: float) -> Document:
+        """Touch a document: bump its mtime/version (the modifier's write)."""
+        doc = self._documents[url]
+        doc.last_modified = now
+        doc.version += 1
+        self.modification_count += 1
+        return doc
+
+    def modified_since(self, url: str, timestamp: float) -> bool:
+        """True when the document changed after ``timestamp``."""
+        return self._documents[url].last_modified > timestamp
+
+    def age(self, url: str, now: float) -> float:
+        """Document age (now minus last modification)."""
+        return max(0.0, now - self._documents[url].last_modified)

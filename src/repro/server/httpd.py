@@ -1,0 +1,372 @@
+"""The pseudo-server workstation: HTTPD + accelerator on one host.
+
+One :class:`ServerSite` bundles what the paper runs on its pseudo-server
+SPARC-20: the NCSA HTTPD (document service, request logging) and the
+Harvest accelerator (site tracking, modification detection, INVALIDATE
+fan-out), sharing one CPU and one disk.
+
+Key fidelity points, all from Section 4 of the paper:
+
+* Every client access registers the site — the accelerator does not rely
+  on the client saying whether it caches.
+* Modification detection supports both the "notify" (check-in) path and
+  the browser-based path (:meth:`ServerSite.check_document`).
+* With ``blocking_send`` (the prototype's behaviour), the accelerator
+  stops accepting requests until all INVALIDATEs for a change are sent —
+  the cause of the paper's worst-case latencies.
+* Crash recovery: volatile site lists are lost; a persistent log of every
+  site ever seen is replayed as INVALIDATE-by-server-address messages.
+* Invalidations travel over the reliable channel (TCP + periodic retry).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional
+
+from ..http import (
+    HttpRequest,
+    make_invalidate_multi,
+    make_invalidate_server,
+    make_invalidate_url,
+    make_reply_200,
+    make_reply_304,
+)
+from ..http.wire import DEFAULT_WIRE, WireCosts
+from ..metering import UsageLedger
+from ..net import Message, Network, ReliableChannel
+from ..sim import Resource, Simulator
+from .accelerator import AcceleratorConfig
+from .costs import DEFAULT_SERVER_COSTS, ServerCosts
+from .filestore import FileStore
+from .sitelist import InvalidationTable, KnownSitesLog
+
+__all__ = ["ServerSite"]
+
+
+class ServerSite:
+    """The origin server host (HTTPD + accelerator + CPU + disk)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: str,
+        filestore: FileStore,
+        accel: Optional[AcceleratorConfig] = None,
+        costs: ServerCosts = DEFAULT_SERVER_COSTS,
+        wire: WireCosts = DEFAULT_WIRE,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.filestore = filestore
+        self.accel = accel or AcceleratorConfig()
+        self.costs = costs
+        self.wire = wire
+
+        #: Single-CPU and single-disk FIFO resources (SPARC-20 model).
+        self.cpu = Resource(sim, capacity=1)
+        self.disk = Resource(sim, capacity=1)
+        #: The accept loop: requests acquire it briefly to be admitted; a
+        #: blocking invalidation send holds it for the whole fan-out.
+        self.accept_lock = Resource(sim, capacity=1)
+
+        self.table = InvalidationTable()
+        self.known_sites = KnownSitesLog()
+        #: Section 7 hit metering: direct requests plus proxy-reported
+        #: cache hits, per document.
+        self.ledger = UsageLedger()
+        self.channel = ReliableChannel(network, retry_interval=self.accel.retry_interval)
+
+        #: Last modification time the accelerator has *seen* per URL
+        #: (browser-based detection compares against the file system).
+        self._seen_mtime: Dict[str, float] = {}
+        #: Piggyback extension: time-ordered (time, url) modification log
+        #: and each proxy's last-contact time.
+        self._mod_log: List[tuple] = []
+        self._last_contact: Dict[str, float] = {}
+        self.piggybacked_urls = 0
+        #: When set (by an adaptive-lease controller), overrides the
+        #: static lease durations in :attr:`accel` for every request.
+        self.lease_override: Optional[float] = None
+
+        # -- counters surfaced to the metrics layer --
+        self.requests_handled = 0
+        self.replies_200 = 0
+        self.replies_304 = 0
+        self.invalidations_sent = 0
+        self.disk_reads = 0
+        self.disk_writes = 0
+        #: Wall-clock seconds each modification's INVALIDATE fan-out took.
+        self.invalidation_times: List[float] = []
+
+        self.up = True
+        network.register(address, self._receive)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+
+    def _receive(self, message: Message) -> None:
+        if not self.up:
+            return  # crashed host: the network normally blocks this
+        if isinstance(message, HttpRequest):
+            self.sim.process(self._handle_request(message))
+
+    def _handle_request(self, request: HttpRequest):
+        sim, costs = self.sim, self.costs
+
+        # Admission: the accept loop is a choke point shared with blocking
+        # invalidation sends.
+        with self.accept_lock.request() as admit:
+            yield admit
+            with self.cpu.request() as cpu:
+                yield cpu
+                yield sim.timeout(costs.cpu_accept)
+
+        # Parse + accelerator bookkeeping.
+        with self.cpu.request() as cpu:
+            yield cpu
+            cost = costs.cpu_parse
+            if self.accel.invalidation:
+                cost += costs.cpu_sitelist
+            yield sim.timeout(cost)
+
+        self.ledger.record_request(request.url)
+        if request.reported_hits:
+            self.ledger.record_reported_hits(request.url, request.reported_hits)
+
+        lease_expires: Optional[float] = None
+        if self.accel.invalidation:
+            lease_expires = yield from self._register_site(request)
+
+        doc = self.filestore.get(request.url)
+        # The invalidation table remembers when each served document was
+        # last seen modified (browser-based change detection compares
+        # against this).
+        self._seen_mtime.setdefault(request.url, doc.last_modified)
+        modified = (
+            request.ims_timestamp is None
+            or doc.last_modified > request.ims_timestamp
+        )
+
+        if modified:
+            # Full transfer: read the document from disk, build the reply.
+            with self.disk.request() as disk:
+                yield disk
+                yield sim.timeout(costs.disk_fetch(doc.size))
+            self.disk_reads += 1
+            with self.cpu.request() as cpu:
+                yield cpu
+                yield sim.timeout(costs.cpu_reply(doc.size))
+            reply = make_reply_200(
+                request,
+                body_bytes=doc.size,
+                last_modified=doc.last_modified,
+                wire=self.wire,
+                lease_expires=lease_expires,
+            )
+            self.replies_200 += 1
+        else:
+            with self.cpu.request() as cpu:
+                yield cpu
+                yield sim.timeout(costs.cpu_reply(0))
+            reply = make_reply_304(
+                request,
+                last_modified=doc.last_modified,
+                wire=self.wire,
+                lease_expires=lease_expires,
+            )
+            self.replies_304 += 1
+
+        if self.accel.piggyback:
+            urls = self._piggyback_for(request.src, exclude_url=request.url)
+            if urls:
+                reply.piggyback_invalidations = urls
+                reply.size += len(urls) * self.wire.piggyback_per_url
+                self.piggybacked_urls += len(urls)
+
+        # All three approaches log incoming requests (paper Section 5.2).
+        with self.disk.request() as disk:
+            yield disk
+            yield sim.timeout(costs.disk_log_write)
+        self.disk_writes += 1
+
+        self.requests_handled += 1
+        self.network.send(reply)
+
+    def _register_site(self, request: HttpRequest):
+        """Record the requesting site in the invalidation table.
+
+        Returns the lease expiry to advertise in the reply (or ``None``
+        when the protocol does not grant explicit leases).
+        """
+        now = self.sim.now
+        if self.lease_override is not None:
+            duration = self.lease_override
+        else:
+            duration = self.accel.lease_for(request.is_ims)
+        if self.accel.grant_leases:
+            # Lazy lease reclamation: expired entries on this document's
+            # list are dropped whenever it is touched (Section 6 — "the
+            # server only needs to remember clients whose leases have not
+            # expired").
+            self.table.site_list(request.url).purge_expired(now)
+        if duration > 0:
+            expiry = math.inf if math.isinf(duration) else now + duration
+            self.table.register(
+                request.url,
+                request.client_id,
+                proxy=request.src,
+                now=now,
+                lease_expires=expiry,
+            )
+        # Persistent every-site log: disk write only on first sight.
+        if self.known_sites.record(request.client_id, request.src):
+            with self.disk.request() as disk:
+                yield disk
+                yield self.sim.timeout(self.costs.disk_sitelog_write)
+            self.disk_writes += 1
+        if not self.accel.grant_leases:
+            return None
+        if math.isinf(duration):
+            return None
+        return now + duration
+
+    def _piggyback_for(self, proxy: str, exclude_url: str):
+        """URLs modified since ``proxy``'s last contact (PSI extension).
+
+        Updates the proxy's last-contact time; returns ``None`` on first
+        contact or when nothing changed.
+        """
+        now = self.sim.now
+        since = self._last_contact.get(proxy)
+        self._last_contact[proxy] = now
+        if since is None or not self._mod_log:
+            return None
+        start = bisect.bisect_right(self._mod_log, (since, "￿"))
+        seen = {}
+        for _t, url in self._mod_log[start:]:
+            if url != exclude_url:
+                seen[url] = None
+            if len(seen) >= self.accel.piggyback_cap:
+                break
+        return tuple(seen) or None
+
+    # ------------------------------------------------------------------
+    # modification detection + invalidation fan-out
+    # ------------------------------------------------------------------
+
+    def check_in(self, url: str) -> None:
+        """The "notify" path: a check-in utility reports a change."""
+        self._seen_mtime[url] = self.filestore.get(url).last_modified
+        if self.accel.piggyback:
+            self._mod_log.append((self.sim.now, url))
+        if self.accel.invalidation:
+            self.sim.process(self._send_invalidations(url))
+
+    def check_document(self, url: str) -> bool:
+        """The browser-based path: compare the file's mtime with the last
+        one the accelerator saw; returns True when a change was detected
+        (and, under invalidation, a fan-out was started)."""
+        current = self.filestore.get(url).last_modified
+        seen = self._seen_mtime.get(url)
+        if seen is None:
+            # Never served: nobody can be caching it, so nothing to do
+            # beyond remembering the current mtime.
+            self._seen_mtime[url] = current
+            return False
+        if current <= seen:
+            return False
+        self._seen_mtime[url] = current
+        if self.accel.piggyback:
+            self._mod_log.append((self.sim.now, url))
+        if self.accel.invalidation:
+            self.sim.process(self._send_invalidations(url))
+        return True
+
+    def _send_invalidations(self, url: str):
+        """Send INVALIDATE(url) to every live site, serially over TCP.
+
+        With ``multicast`` enabled, clients are grouped by proxy host and
+        each proxy receives a single message covering all of them.
+        """
+        sim = self.sim
+        entries = self.table.note_modification(url, sim.now)
+        started = sim.now
+        hold = self.accept_lock.request() if self.accel.blocking_send else None
+        if hold is not None:
+            yield hold
+        try:
+            if self.accel.multicast:
+                by_proxy: Dict[str, List[str]] = {}
+                for entry in entries:
+                    by_proxy.setdefault(entry.proxy, []).append(entry.client_id)
+                for proxy, client_ids in by_proxy.items():
+                    with self.cpu.request() as cpu:
+                        yield cpu
+                        yield sim.timeout(self.costs.cpu_invalidate_msg)
+                    message = make_invalidate_multi(
+                        self.address, proxy, url, client_ids, wire=self.wire
+                    )
+                    yield from self.channel.deliver(message)
+                    self.invalidations_sent += 1
+                    self.table.clear_after_invalidation(url, client_ids)
+            else:
+                for entry in entries:
+                    with self.cpu.request() as cpu:
+                        yield cpu
+                        yield sim.timeout(self.costs.cpu_invalidate_msg)
+                    message = make_invalidate_url(
+                        self.address, entry.proxy, url, entry.client_id,
+                        wire=self.wire,
+                    )
+                    yield from self.channel.deliver(message)
+                    self.invalidations_sent += 1
+                    self.table.clear_after_invalidation(url, [entry.client_id])
+        finally:
+            if hold is not None:
+                self.accept_lock.release(hold)
+        self.invalidation_times.append(sim.now - started)
+
+    # ------------------------------------------------------------------
+    # crash / recovery (Section 4 failure handling)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the server site: volatile invalidation state is lost."""
+        self.up = False
+        self.network.set_down(self.address)
+        self.table = InvalidationTable()
+        self._seen_mtime.clear()
+
+    def recover(self):
+        """Restart; returns the recovery process (INVALIDATE-by-server).
+
+        The persistent :class:`KnownSitesLog` survives the crash; every
+        site in it receives an INVALIDATE carrying the server address,
+        which makes proxies mark our documents questionable.
+        """
+        self.up = True
+        self.network.set_up(self.address)
+        return self.sim.process(self._recovery_fanout())
+
+    def _recovery_fanout(self):
+        sim = self.sim
+        seen_proxies = set()
+        for _client_id, proxy in self.known_sites.all_sites():
+            # One INVALIDATE-by-server per proxy host is enough: the proxy
+            # marks every cached document from this server questionable.
+            if proxy in seen_proxies:
+                continue
+            seen_proxies.add(proxy)
+            with self.cpu.request() as cpu:
+                yield cpu
+                yield sim.timeout(self.costs.cpu_invalidate_msg)
+            message = make_invalidate_server(
+                self.address, proxy, server=self.address, wire=self.wire
+            )
+            yield from self.channel.deliver(message)
+            self.invalidations_sent += 1

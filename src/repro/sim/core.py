@@ -1,0 +1,325 @@
+"""Discrete-event simulation kernel: events and the simulator loop.
+
+This module provides the event machinery used by every other subsystem in
+the reproduction.  It is deliberately simpy-like (generator-based processes
+yield events and are resumed when those events trigger) but implemented from
+scratch so the repository has no third-party runtime dependencies.
+
+Determinism: events scheduled for the same simulated time are processed in
+(priority, insertion-order) order, so a run is exactly reproducible given
+the same seed and the same sequence of API calls.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Simulator",
+    "SimulationError",
+    "Interrupt",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for interrupt-style events (processed before NORMAL
+#: events scheduled for the same simulated time).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+#: Sentinel for "event has not been given a value yet".
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Simulator.run` early."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupting cause is available as :attr:`cause`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt` (may be ``None``)."""
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event goes through three states: *pending* (created, not triggered),
+    *triggered* (given a value or an exception, scheduled on the event
+    queue) and *processed* (popped from the queue; its callbacks have run).
+    Processes wait on an event by ``yield``-ing it; they are resumed with
+    the event's value, or have the event's exception thrown into them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_cancelled")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callbacks to run when the event is processed.  ``None`` once the
+        #: event has been processed (this doubles as the "processed" flag).
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+        self._cancelled: bool = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is not yet triggered."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised at the end of the simulation unless some
+        waiter handles it (waiting on a failed event *defuses* it).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.sim._enqueue(self, NORMAL)
+
+    def cancel(self) -> None:
+        """Make a scheduled-but-unprocessed event inert.
+
+        A cancelled event never runs its callbacks and — importantly —
+        does not advance the simulation clock when its queue slot drains.
+        Used to retire abandoned timers (e.g. a reply timeout after the
+        reply arrived) so ``run()`` does not idle the clock forward.
+        """
+        if self.processed:
+            raise SimulationError("cannot cancel a processed event")
+        self._cancelled = True
+        self.callbacks = None
+
+    # -- composition ------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        from .process import AllOf  # local import to avoid a cycle
+
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        from .process import AnyOf
+
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x}>"
+
+
+# Imported late by __and__/__or__; re-exported for type checkers.
+Condition = Event
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(5.0)
+            print("done at", sim.now)
+
+        sim.process(worker(sim))
+        sim.run()
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Any] = []
+        self._seq = 0
+        self._active_process = None
+        #: Optional EventTracer (see repro.sim.tracing).
+        self._tracer = None
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next live scheduled event, or ``float('inf')``."""
+        self._drop_cancelled_head()
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def _drop_cancelled_head(self) -> None:
+        """Discard cancelled events from the front of the queue."""
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:
+            heapq.heappop(queue)
+
+    # -- event construction ------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` triggering ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Start a new generator :class:`Process`."""
+        from .process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event that triggers when all ``events`` have succeeded."""
+        from .process import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Event that triggers when any of ``events`` triggers."""
+        from .process import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling --------------------------------------------------------
+
+    def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        """Put a triggered event on the queue, ``delay`` seconds from now."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def schedule_callback(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule a plain callable to run after ``delay`` seconds.
+
+        Convenience wrapper used by non-process components (e.g. the network
+        fabric delivering messages).  Returns the underlying event.
+        """
+        event = Timeout(self, delay)
+        event.callbacks.append(lambda _evt: callback())
+        return event
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises :class:`IndexError` if the queue is empty and re-raises any
+        un-defused event failure.
+        """
+        self._drop_cancelled_head()
+        self._now, _prio, _seq, event = heapq.heappop(self._queue)
+        if self._tracer is not None:
+            self._tracer.observe(self._now, event)
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(f"event failed with non-exception {exc!r}")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue is exhausted or ``until`` is reached.
+
+        If ``until`` is given, the clock is advanced exactly to ``until``
+        even when no event is scheduled at that time.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
+        try:
+            while True:
+                self._drop_cancelled_head()
+                if not self._queue:
+                    break
+                if until is not None and self._queue[0][0] > until:
+                    break
+                self.step()
+        except StopSimulation:
+            return
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def stop(self) -> None:
+        """Stop :meth:`run` from inside a callback or process."""
+        raise StopSimulation()

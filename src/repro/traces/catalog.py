@@ -1,0 +1,170 @@
+"""Profiles of the five paper traces (Table 2) and their derivations.
+
+The paper uses five Internet Traffic Archive server traces.  Offline, we
+regenerate statistically equivalent synthetic traces from these profiles.
+Table 2's "Number of Files" row is unreadable in the available paper text,
+so file counts are recovered from the modification counts reported in the
+Table 3/4 experiment headers: the modifier touches one uniform-random file
+every ``N`` seconds, giving mean lifetime ``L = F*N`` and ``mods = T/N =
+T*F/L``, hence ``F = mods*L/T`` (see DESIGN.md §3).
+
+``doc_alpha``, ``client_alpha`` and ``num_clients`` are calibrated so the
+generated traces match the paper's file-popularity column (max and mean
+number of distinct client sites per document); the calibration is checked
+by ``benchmarks/test_table2_trace_summaries.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+__all__ = ["TraceProfile", "PROFILES", "profile", "DAY", "HOUR"]
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Workload statistics for one paper trace.
+
+    Attributes:
+        name: trace identifier, as in the paper.
+        duration: trace length in seconds.
+        total_requests: number of requests to generate.
+        num_files: server document count (derived; see module docstring).
+        mean_file_size: mean document size in bytes.
+        popularity_max: paper's max distinct client sites on one document.
+        popularity_mean: paper's mean distinct client sites per document.
+        num_clients: calibrated client-site population.
+        doc_alpha: Zipf exponent for document popularity (calibrated).
+        client_alpha: Zipf exponent for client activity (calibrated).
+        revisit_prob: probability a request re-reads a document the same
+            client already fetched (temporal locality; calibrated so the
+            popularity mean matches the paper).
+        diurnal_amplitude: day/night request-rate modulation in [0, 1).
+    """
+
+    name: str
+    duration: float
+    total_requests: int
+    num_files: int
+    mean_file_size: int
+    popularity_max: int
+    popularity_mean: float
+    num_clients: int
+    doc_alpha: float
+    client_alpha: float
+    revisit_prob: float = 0.0
+    diurnal_amplitude: float = 0.5
+
+    def scaled(self, fraction: float) -> "TraceProfile":
+        """Shrink the workload for fast tests/benchmarks.
+
+        Requests, files and clients shrink together so per-document request
+        and modification intensities are preserved (the quantities the
+        protocol comparison is sensitive to); duration is kept so request
+        *rate* drops, matching how a smaller server would look.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if fraction == 1.0:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}[{fraction:g}]",
+            total_requests=max(100, round(self.total_requests * fraction)),
+            num_files=max(20, round(self.num_files * fraction)),
+            num_clients=max(10, round(self.num_clients * fraction)),
+            popularity_max=max(2, round(self.popularity_max * fraction)),
+            popularity_mean=max(1.0, self.popularity_mean),
+        )
+
+
+def _profiles() -> Dict[str, TraceProfile]:
+    entries: Tuple[TraceProfile, ...] = (
+        # EPA WWW server, Research Triangle Park NC; 1 day.
+        TraceProfile(
+            name="EPA",
+            duration=1 * DAY,
+            total_requests=40658,
+            num_files=3600,
+            mean_file_size=21 * 1024,
+            popularity_max=1642,
+            popularity_mean=8.2,
+            num_clients=2700,
+            doc_alpha=1.00,
+            client_alpha=0.60,
+            revisit_prob=0.30,
+        ),
+        # San Diego Supercomputer Center; 1 day.
+        TraceProfile(
+            name="SDSC",
+            duration=1 * DAY,
+            total_requests=25430,
+            num_files=1430,
+            mean_file_size=14 * 1024,
+            popularity_max=1020,
+            popularity_mean=12.0,
+            num_clients=1500,
+            doc_alpha=0.95,
+            client_alpha=0.60,
+            revisit_prob=0.24,
+        ),
+        # ClarkNet commercial ISP, Baltimore-Washington DC; 10 hours.
+        TraceProfile(
+            name="ClarkNet",
+            duration=10 * HOUR,
+            total_requests=61703,
+            num_files=4800,
+            mean_file_size=13 * 1024,
+            popularity_max=680,
+            popularity_mean=8.0,
+            num_clients=4500,
+            doc_alpha=0.68,
+            client_alpha=0.60,
+            revisit_prob=0.42,
+        ),
+        # NASA Kennedy Space Center; 1 day.
+        TraceProfile(
+            name="NASA",
+            duration=1 * DAY,
+            total_requests=61823,
+            num_files=1008,
+            mean_file_size=44 * 1024,
+            popularity_max=3138,
+            popularity_mean=31.0,
+            num_clients=5400,
+            doc_alpha=1.05,
+            client_alpha=0.60,
+            revisit_prob=0.42,
+        ),
+        # University of Saskatchewan; 8 days.
+        TraceProfile(
+            name="SASK",
+            duration=8 * DAY,
+            total_requests=51471,
+            num_files=2009,
+            mean_file_size=12 * 1024,
+            popularity_max=1155,
+            popularity_mean=14.0,
+            num_clients=1700,
+            doc_alpha=0.90,
+            client_alpha=0.60,
+            revisit_prob=0.40,
+        ),
+    )
+    return {p.name: p for p in entries}
+
+
+#: The five paper traces, keyed by name.
+PROFILES: Dict[str, TraceProfile] = _profiles()
+
+
+def profile(name: str) -> TraceProfile:
+    """Look up a profile by (case-insensitive) name."""
+    for candidate in PROFILES.values():
+        if candidate.name.lower() == name.lower():
+            return candidate
+    raise KeyError(f"unknown trace profile {name!r}; have {sorted(PROFILES)}")

@@ -1,0 +1,60 @@
+"""Trace summary statistics (the paper's Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from .record import Trace
+
+__all__ = ["TraceSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """One row of Table 2.
+
+    ``popularity_max`` / ``popularity_mean`` are the maximum and mean
+    number of *distinct client sites* that requested the same document
+    (mean over requested documents only, as in the paper).
+    """
+
+    name: str
+    duration: float
+    total_requests: int
+    num_files: int
+    avg_file_size: float
+    popularity_max: int
+    popularity_mean: float
+    num_clients: int
+
+    def row(self) -> str:
+        """Format as a paper-style summary line."""
+        days = self.duration / 86400.0
+        return (
+            f"{self.name:10s} {days:6.2f}d  req={self.total_requests:7d}  "
+            f"files={self.num_files:5d}  avg={self.avg_file_size / 1024:6.1f}KB  "
+            f"popularity={self.popularity_max:5d} ({self.popularity_mean:.1f})  "
+            f"clients={self.num_clients:5d}"
+        )
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Compute the Table 2 row for a trace."""
+    distinct: Dict[str, Set[str]] = {}
+    clients: Set[str] = set()
+    for record in trace.records:
+        distinct.setdefault(record.url, set()).add(record.client)
+        clients.add(record.client)
+    counts = [len(s) for s in distinct.values()]
+    total_size = sum(trace.documents.values())
+    return TraceSummary(
+        name=trace.name,
+        duration=trace.duration,
+        total_requests=len(trace.records),
+        num_files=len(trace.documents),
+        avg_file_size=total_size / len(trace.documents) if trace.documents else 0.0,
+        popularity_max=max(counts) if counts else 0,
+        popularity_mean=sum(counts) / len(counts) if counts else 0.0,
+        num_clients=len(clients),
+    )

@@ -1,0 +1,35 @@
+"""Workload machinery: lifetimes, the modifier process, r/m streams."""
+
+from .lifetime import (
+    DAYS,
+    expected_modifications,
+    mean_lifetime,
+    modification_interval,
+)
+from .modifier import Modification, Modifier, generate_schedule
+from .streams import (
+    MODIFY,
+    READ,
+    Op,
+    StreamCounts,
+    count_r_ri,
+    merge_events,
+    parse_stream,
+)
+
+__all__ = [
+    "DAYS",
+    "modification_interval",
+    "expected_modifications",
+    "mean_lifetime",
+    "Modification",
+    "Modifier",
+    "generate_schedule",
+    "READ",
+    "MODIFY",
+    "Op",
+    "parse_stream",
+    "merge_events",
+    "count_r_ri",
+    "StreamCounts",
+]

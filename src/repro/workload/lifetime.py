@@ -1,0 +1,50 @@
+"""File-lifetime arithmetic for the modifier process.
+
+The paper's modifier "chooses a random file to modify every N seconds.
+This modification pattern leads to a geometric life time distribution for
+files; N is set so that the average life time of the files is a particular
+value (for example, 50 days)."
+
+With ``F`` files and one uniform-random modification every ``N`` seconds, a
+given file is hit with probability ``1/F`` per tick, so its lifetime is
+geometric with mean ``F`` ticks = ``F*N`` seconds.  Hence
+``N = mean_lifetime / F``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "modification_interval",
+    "expected_modifications",
+    "mean_lifetime",
+    "DAYS",
+]
+
+#: Seconds per day, for readable experiment configs.
+DAYS = 86400.0
+
+
+def modification_interval(num_files: int, mean_lifetime_seconds: float) -> float:
+    """Seconds between modifier ticks for the target mean file lifetime."""
+    if num_files < 1:
+        raise ValueError("num_files must be >= 1")
+    if mean_lifetime_seconds <= 0:
+        raise ValueError("mean lifetime must be positive")
+    return mean_lifetime_seconds / num_files
+
+
+def expected_modifications(
+    num_files: int, mean_lifetime_seconds: float, duration_seconds: float
+) -> int:
+    """Number of modifier ticks during a replay of the given duration."""
+    interval = modification_interval(num_files, mean_lifetime_seconds)
+    return int(math.floor(duration_seconds / interval))
+
+
+def mean_lifetime(num_files: int, interval_seconds: float) -> float:
+    """Inverse of :func:`modification_interval`."""
+    if interval_seconds <= 0:
+        raise ValueError("interval must be positive")
+    return num_files * interval_seconds

@@ -1,0 +1,87 @@
+"""Interleaved request/modification streams (the paper's Section 3 model).
+
+The Table 1 analysis considers, for one (client, document) pair, the
+interleaved sequence of reads and modifications — e.g. ``"r r r m m m r r
+m r r r m m r"`` — and defines:
+
+* ``R``  — number of reads, and
+* ``RI`` — number of *request intervals*: maximal runs of reads with no
+  intervening modification (4 in the example).
+
+This module builds those streams from raw event times and computes R/RI;
+:mod:`repro.core.analysis` turns them into per-protocol message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["Op", "READ", "MODIFY", "parse_stream", "merge_events", "count_r_ri"]
+
+READ = "r"
+MODIFY = "m"
+
+#: One stream element: ``"r"`` or ``"m"``.
+Op = str
+
+
+def parse_stream(text: str) -> List[Op]:
+    """Parse a stream like ``"r r m r"`` (whitespace optional)."""
+    ops = [c for c in text.lower() if not c.isspace()]
+    bad = sorted(set(ops) - {READ, MODIFY})
+    if bad:
+        raise ValueError(f"invalid stream ops {bad!r}; only 'r'/'m' allowed")
+    return ops
+
+
+def merge_events(
+    read_times: Iterable[float], modify_times: Iterable[float]
+) -> List[Op]:
+    """Interleave read/modification timestamps into a stream.
+
+    Ties are resolved modification-first (a read at the same instant as a
+    write sees the new version, matching the paper's write-completion
+    definitions).
+    """
+    events: List[Tuple[float, int, Op]] = []
+    events.extend((t, 0, MODIFY) for t in modify_times)
+    events.extend((t, 1, READ) for t in read_times)
+    events.sort()
+    return [op for _, _, op in events]
+
+
+@dataclass(frozen=True)
+class StreamCounts:
+    """R and RI for one stream (see module docstring)."""
+
+    reads: int
+    intervals: int
+
+    @property
+    def repeats(self) -> int:
+        """Reads served without any possible change: ``R - RI``."""
+        return self.reads - self.intervals
+
+
+def count_r_ri(stream: Sequence[Op]) -> StreamCounts:
+    """Compute R (reads) and RI (request intervals) for a stream.
+
+    An interval starts at the first read after a modification (or at the
+    first read overall); modifications with no subsequent read do not open
+    intervals.
+    """
+    reads = 0
+    intervals = 0
+    dirty = True  # document unseen or modified since the last read
+    for op in stream:
+        if op == READ:
+            reads += 1
+            if dirty:
+                intervals += 1
+                dirty = False
+        elif op == MODIFY:
+            dirty = True
+        else:
+            raise ValueError(f"invalid op {op!r}")
+    return StreamCounts(reads=reads, intervals=intervals)

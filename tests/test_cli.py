@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import PROTOCOL_FACTORIES, build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--protocol", "bogus"])
+
+    def test_all_protocol_factories_construct(self):
+        for name, factory in PROTOCOL_FACTORIES.items():
+            protocol = factory()
+            assert protocol.name, name
+
+
+class TestAnalyze:
+    def test_paper_stream_default(self):
+        code, text = run_cli("analyze")
+        assert code == 0
+        assert "R = 9, RI = 4" in text
+        assert "polling" in text and "invalidation" in text and "ttl" in text
+        assert "<= 8" in text
+
+    def test_custom_stream(self):
+        code, text = run_cli("analyze", "--stream", "r m r")
+        assert code == 0
+        assert "R = 2, RI = 2" in text
+
+
+class TestSummarize:
+    def test_profile_summary(self):
+        code, text = run_cli("summarize", "--trace", "SDSC", "--scale", "0.02")
+        assert code == 0
+        assert "SDSC" in text
+
+    def test_clf_summary(self, tmp_path):
+        log = tmp_path / "mini.log"
+        log.write_text(
+            'h1 - - [01/Jul/1995:00:00:01 -0400] "GET /a HTTP/1.0" 200 100\n'
+            'h2 - - [01/Jul/1995:00:00:05 -0400] "GET /a HTTP/1.0" 200 100\n'
+        )
+        code, text = run_cli("summarize", "--clf", str(log))
+        assert code == 0
+        assert "req=      2" in text or "req=" in text
+
+
+class TestGenerate:
+    def test_roundtrip(self, tmp_path):
+        out_path = tmp_path / "trace.log"
+        code, text = run_cli(
+            "generate", "--trace", "SDSC", "--scale", "0.02",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        assert "wrote" in text
+        # The generated CLF file is readable back.
+        code, text = run_cli("summarize", "--clf", str(out_path))
+        assert code == 0
+
+
+class TestReplay:
+    def test_replay_invalidation_prints_costs(self):
+        code, text = run_cli(
+            "replay", "--trace", "SDSC", "--scale", "0.02",
+            "--protocol", "invalidation", "--lifetime-days", "2",
+        )
+        assert code == 0
+        assert "Total Messages" in text
+        assert "Invalidation costs" in text
+
+    def test_replay_ttl_no_costs_block(self):
+        code, text = run_cli(
+            "replay", "--trace", "SDSC", "--scale", "0.02",
+            "--protocol", "ttl", "--lifetime-days", "2",
+        )
+        assert code == 0
+        assert "Invalidation costs" not in text
+
+    def test_replay_json_output(self):
+        import json
+
+        code, text = run_cli(
+            "replay", "--trace", "SDSC", "--scale", "0.02",
+            "--protocol", "invalidation", "--lifetime-days", "2", "--json",
+        )
+        assert code == 0
+        data = json.loads(text)
+        assert data[0]["protocol"] == "invalidation"
+        assert data[0]["counters"]["violations"] == 0
+
+    def test_replay_with_hierarchy(self):
+        code, text = run_cli(
+            "replay", "--trace", "SDSC", "--scale", "0.02",
+            "--protocol", "invalidation", "--lifetime-days", "2",
+            "--hierarchy", "2",
+        )
+        assert code == 0
+        assert "Total Messages" in text
+
+
+class TestCompare:
+    def test_compare_three_protocols(self):
+        code, text = run_cli(
+            "compare", "--trace", "SDSC", "--scale", "0.02",
+            "--lifetime-days", "2",
+        )
+        assert code == 0
+        for name in ("poll-every-time", "invalidation", "adaptive-ttl"):
+            assert name in text

@@ -1,0 +1,176 @@
+"""Tests for the Table 1 analytical message model."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    AdaptiveTtlPolicy,
+    simulate_stream,
+    symbolic_counts,
+    timed_stream_from_ops,
+)
+from repro.workload import count_r_ri, parse_stream
+
+PAPER_STREAM = "r r r m m m r r m r r r m m r"
+
+
+class TestSymbolic:
+    def test_polling_formulas(self):
+        c = symbolic_counts("polling", reads=9, intervals=4)
+        assert c.gets == 0
+        assert c.ims == 9
+        assert c.replies_304 == 5  # R - RI
+        assert c.invalidations == 0
+        assert c.file_transfers == 4  # RI
+        assert c.control_messages == 2 * 9 - 4  # 2R - RI
+
+    def test_invalidation_formulas(self):
+        c = symbolic_counts("invalidation", reads=9, intervals=4)
+        assert c.gets == 4
+        assert c.ims == 0
+        assert c.invalidations == 4
+        assert c.file_transfers == 4
+        assert c.control_messages == 2 * 4  # 2 RI
+
+    def test_ttl_formulas(self):
+        c = symbolic_counts(
+            "ttl", reads=9, intervals=4, ttl_missed=3, ttl_missed_new_doc=2,
+            stale_hits=1,
+        )
+        assert c.ims == 3
+        assert c.replies_304 == 1
+        assert c.file_transfers == 3  # RI - stale hits
+        assert c.control_messages == 2 * 3 - 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            symbolic_counts("polling", reads=2, intervals=5)
+        with pytest.raises(ValueError):
+            symbolic_counts("ttl", reads=5, intervals=2, ttl_missed=1,
+                            ttl_missed_new_doc=2)
+        with pytest.raises(ValueError):
+            symbolic_counts("bogus", reads=1, intervals=1)
+
+    def test_invalidation_control_at_most_twice_minimum(self):
+        # Section 3: invalidation incurs at most twice the minimum (RI).
+        for r, ri in [(10, 3), (50, 50), (7, 1)]:
+            c = symbolic_counts("invalidation", reads=r, intervals=ri)
+            assert c.control_messages == 2 * ri
+
+
+class TestSimulatedStream:
+    def test_paper_example_polling(self):
+        ops = parse_stream(PAPER_STREAM)
+        counts = count_r_ri(ops)
+        sim = simulate_stream(timed_stream_from_ops(ops), "polling")
+        # Exact simulation: first access is a GET, not an IMS.
+        assert sim.gets == 1
+        assert sim.ims == counts.reads - 1
+        assert sim.file_transfers == counts.intervals
+        assert sim.replies_304 == counts.reads - counts.intervals
+        assert sim.total_messages == symbolic_counts(
+            "polling", counts.reads, counts.intervals
+        ).total_messages + 0  # GET/IMS swap keeps totals equal
+
+    def test_paper_example_invalidation(self):
+        ops = parse_stream(PAPER_STREAM)
+        counts = count_r_ri(ops)
+        sim = simulate_stream(timed_stream_from_ops(ops), "invalidation")
+        assert sim.gets == counts.intervals
+        assert sim.file_transfers == counts.intervals
+        # The stream ends in r: the final interval is never modified, so
+        # it sends no invalidation.  Table 1's RI is the upper bound.
+        assert sim.invalidations == counts.intervals - 1
+        assert sim.invalidations <= counts.intervals
+        assert sim.ims == 0
+
+    def test_invalidation_single_message_per_modification_run(self):
+        # "m m m" after a read: only the first m sends an invalidation.
+        sim = simulate_stream(
+            timed_stream_from_ops(parse_stream("r m m m r")), "invalidation"
+        )
+        assert sim.invalidations == 1
+        assert sim.gets == 2
+
+    def test_invalidation_trailing_mods_still_invalidate(self):
+        sim = simulate_stream(
+            timed_stream_from_ops(parse_stream("r m")), "invalidation"
+        )
+        assert sim.invalidations == 1
+        assert sim.gets == 1
+
+    def test_ttl_stale_hits_counted(self):
+        # Long TTL (old doc), modification mid-stream, reads inside TTL.
+        policy = AdaptiveTtlPolicy(factor=1.0, min_ttl=0.0)
+        events = [(0.0, "r"), (1.0, "m"), (2.0, "r"), (3.0, "r")]
+        sim = simulate_stream(events, "ttl", ttl_policy=policy, initial_age=1000.0)
+        assert sim.stale_serves == 2  # two user requests saw old data
+        assert sim.stale_hits == 1  # one whole interval served stale
+        assert sim.file_transfers == 1  # only the initial fetch (RI=2 - 1)
+
+    def test_ttl_expired_validation_paths(self):
+        # Tiny TTL: every later read validates.
+        policy = AdaptiveTtlPolicy(factor=1e-9, min_ttl=0.0)
+        events = timed_stream_from_ops(parse_stream("r r m r"), spacing=10.0)
+        sim = simulate_stream(events, "ttl", ttl_policy=policy, initial_age=5.0)
+        assert sim.gets == 1
+        assert sim.ims == 2
+        assert sim.replies_304 == 1
+        assert sim.file_transfers == 2
+        assert sim.stale_hits == 0
+
+    def test_ttl_zero_stale_when_always_validating(self):
+        policy = AdaptiveTtlPolicy(factor=1e-9, min_ttl=0.0)
+        ops = parse_stream("r m r m r m r")
+        sim = simulate_stream(
+            timed_stream_from_ops(ops, spacing=100.0), "ttl", ttl_policy=policy
+        )
+        assert sim.stale_hits == 0
+
+    def test_events_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            simulate_stream([(1.0, "r"), (0.5, "r")], "polling")
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_stream([(0.0, "r")], "nope")
+
+    def test_empty_stream_all_zero(self):
+        sim = simulate_stream([], "polling")
+        assert sim.total_messages == 0
+
+
+@given(st.lists(st.sampled_from(["r", "m"]), min_size=1, max_size=120), st.integers(0, 100))
+def test_property_strong_protocols_transfer_exactly_ri(ops, seed):
+    """Both strong protocols do the minimum number of file transfers (RI)."""
+    rng = random.Random(seed)
+    times = sorted(rng.uniform(0, 1000) for _ in ops)
+    events = list(zip(times, ops))
+    counts = count_r_ri(ops)
+    for protocol in ("polling", "invalidation"):
+        sim = simulate_stream(events, protocol)
+        assert sim.file_transfers == counts.intervals
+        assert sim.stale_hits == 0
+
+
+@given(st.lists(st.sampled_from(["r", "m"]), min_size=1, max_size=120))
+def test_property_ttl_transfers_plus_stale_equals_ri(ops):
+    """Table 1 identity: TTL file transfers == RI - stale hits."""
+    events = timed_stream_from_ops(ops, spacing=50.0)
+    counts = count_r_ri(ops)
+    policy = AdaptiveTtlPolicy(factor=0.5, min_ttl=0.0)
+    sim = simulate_stream(events, "ttl", ttl_policy=policy, initial_age=200.0)
+    assert sim.file_transfers == counts.intervals - sim.stale_hits
+
+
+@given(st.lists(st.sampled_from(["r", "m"]), min_size=1, max_size=120))
+def test_property_invalidation_control_bounded(ops):
+    """Invalidation control messages never exceed 2*RI."""
+    events = timed_stream_from_ops(ops)
+    counts = count_r_ri(ops)
+    sim = simulate_stream(events, "invalidation")
+    assert sim.control_messages <= 2 * counts.intervals
+    assert sim.gets == counts.intervals

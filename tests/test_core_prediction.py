@@ -1,0 +1,112 @@
+"""Unit tests for trace-level message prediction."""
+
+import random
+
+import pytest
+
+from repro.core import pair_streams, predict_message_counts
+from repro.traces import Trace, TraceRecord
+from repro.workload import Modification, generate_schedule
+
+
+def make_trace(records, docs=None):
+    return Trace(
+        name="t",
+        records=sorted(records),
+        documents=docs or {"/a": 100, "/b": 200},
+        duration=1000.0,
+    )
+
+
+def rec(t, client, url):
+    return TraceRecord(timestamp=t, client=client, url=url)
+
+
+class TestPairStreams:
+    def test_groups_by_client_and_url(self):
+        trace = make_trace(
+            [rec(1, "c1", "/a"), rec(2, "c2", "/a"), rec(3, "c1", "/b")]
+        )
+        streams = pair_streams(trace, [])
+        assert set(streams) == {("c1", "/a"), ("c2", "/a"), ("c1", "/b")}
+
+    def test_modifications_merged_per_url(self):
+        trace = make_trace([rec(1, "c1", "/a"), rec(10, "c1", "/a")])
+        mods = [Modification(time=5.0, url="/a"), Modification(time=7.0, url="/b")]
+        streams = pair_streams(trace, mods)
+        assert streams[("c1", "/a")] == [(1.0, "r"), (5.0, "m"), (10.0, "r")]
+
+    def test_tie_modification_first(self):
+        trace = make_trace([rec(5, "c1", "/a")])
+        mods = [Modification(time=5.0, url="/a")]
+        assert streams_ops(pair_streams(trace, mods)[("c1", "/a")]) == ["m", "r"]
+
+
+def streams_ops(stream):
+    return [op for _, op in stream]
+
+
+class TestPrediction:
+    def test_polling_counts_simple(self):
+        # c1 reads /a three times, one modification in between.
+        trace = make_trace(
+            [rec(1, "c1", "/a"), rec(10, "c1", "/a"), rec(20, "c1", "/a")]
+        )
+        mods = [Modification(time=5.0, url="/a")]
+        pred = predict_message_counts(trace, mods, "polling")
+        assert pred.pairs == 1
+        # GET, then IMS->200 (modified), then IMS->304.
+        assert pred.counts.gets == 1
+        assert pred.counts.ims == 2
+        assert pred.counts.replies_304 == 1
+        assert pred.counts.file_transfers == 2
+
+    def test_invalidation_counts_simple(self):
+        trace = make_trace(
+            [rec(1, "c1", "/a"), rec(10, "c1", "/a"), rec(20, "c1", "/a")]
+        )
+        mods = [Modification(time=5.0, url="/a")]
+        pred = predict_message_counts(trace, mods, "invalidation")
+        assert pred.counts.gets == 2
+        assert pred.counts.invalidations == 1
+        assert pred.counts.file_transfers == 2
+
+    def test_pairs_summed_independently(self):
+        trace = make_trace(
+            [rec(1, "c1", "/a"), rec(2, "c2", "/a"), rec(3, "c1", "/b")]
+        )
+        pred = predict_message_counts(trace, [], "polling")
+        assert pred.pairs == 3
+        # Three cold fetches, nothing else.
+        assert pred.counts.gets == 3
+        assert pred.counts.ims == 0
+        assert pred.counts.file_transfers == 3
+
+    def test_strong_protocols_agree_on_transfers(self):
+        rng = random.Random(9)
+        records = [
+            rec(rng.uniform(0, 900), f"c{rng.randrange(5)}", f"/d{rng.randrange(3)}")
+            for _ in range(200)
+        ]
+        docs = {f"/d{i}": 100 for i in range(3)}
+        trace = make_trace(records, docs=docs)
+        schedule = generate_schedule(sorted(docs), 900.0, 300.0, random.Random(1))
+        polling = predict_message_counts(trace, schedule, "polling")
+        inval = predict_message_counts(trace, schedule, "invalidation")
+        assert polling.counts.file_transfers == inval.counts.file_transfers
+        assert inval.counts.control_messages <= polling.counts.control_messages
+
+    def test_ttl_prediction_reports_stale(self):
+        trace = make_trace(
+            [rec(1, "c1", "/a"), rec(10, "c1", "/a")]
+        )
+        mods = [Modification(time=5.0, url="/a")]
+        from repro.core import AdaptiveTtlPolicy
+
+        pred = predict_message_counts(
+            trace, mods, "ttl",
+            ttl_policy=AdaptiveTtlPolicy(factor=1.0, min_ttl=0.0),
+            initial_age=1000.0,
+        )
+        assert pred.counts.stale_serves == 1
+        assert pred.counts.stale_hits == 1

@@ -1,0 +1,92 @@
+"""Differential testing: analytical model vs full replay on random
+workloads.
+
+For any workload, the Section 3 per-pair state machines (summed over
+pairs) must agree with the full testbed replay on the wire-level message
+rows — exactly for polling up to the lock-step's intra-interval
+reordering, and tightly for invalidation.  Randomizing the workload
+turns this into a harness that hunts for disagreements anywhere in the
+stack (trace handling, caching, protocol logic, wire accounting).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import predict_message_counts
+from repro.replay import ExperimentConfig, run_experiment
+from repro.sim import RngRegistry
+from repro.traces import PROFILES, generate_trace
+from repro.workload import generate_schedule
+from repro.core import invalidation, poll_every_time
+
+
+def make_workload(seed: int):
+    """A small random workload derived from a jittered SDSC profile."""
+    rng = RngRegistry(seed)
+    jitter = rng.stream("profile-jitter")
+    profile = dataclasses.replace(
+        PROFILES["SDSC"].scaled(0.015),
+        doc_alpha=jitter.uniform(0.5, 1.2),
+        client_alpha=jitter.uniform(0.3, 0.9),
+        revisit_prob=jitter.uniform(0.0, 0.6),
+    )
+    trace = generate_trace(profile, rng)
+    lifetime = jitter.uniform(0.5, 10.0) * 86400.0
+    schedule = generate_schedule(
+        sorted(trace.documents),
+        trace.duration,
+        lifetime,
+        RngRegistry(seed).stream("modifications"),
+    )
+    return trace, schedule, lifetime
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 99, 1234])
+def test_polling_model_matches_replay(seed):
+    trace, schedule, lifetime = make_workload(seed)
+    predicted = predict_message_counts(trace, schedule, "polling")
+    measured = run_experiment(
+        ExperimentConfig(
+            trace=trace,
+            protocol=poll_every_time(),
+            mean_lifetime=lifetime,
+            proxy_cache_bytes=None,
+            seed=seed,
+        )
+    )
+    # Identical modification schedules (same seed/stream) -> agreement
+    # up to intra-interval reordering at modification boundaries.
+    mods = measured.files_modified
+    assert predicted.counts.gets == measured.gets
+    assert predicted.counts.ims == measured.ims
+    assert predicted.counts.replies_304 == pytest.approx(
+        measured.replies_304, abs=max(2, mods // 4)
+    )
+    assert predicted.counts.file_transfers == pytest.approx(
+        measured.replies_200, abs=max(2, mods // 4)
+    )
+
+
+@pytest.mark.parametrize("seed", [5, 42, 777])
+def test_invalidation_model_matches_replay(seed):
+    trace, schedule, lifetime = make_workload(seed)
+    predicted = predict_message_counts(trace, schedule, "invalidation")
+    measured = run_experiment(
+        ExperimentConfig(
+            trace=trace,
+            protocol=invalidation(),
+            mean_lifetime=lifetime,
+            proxy_cache_bytes=None,
+            seed=seed,
+        )
+    )
+    mods = measured.files_modified
+    tolerance = max(3, mods // 3)
+    assert predicted.counts.gets == pytest.approx(measured.gets, abs=tolerance)
+    assert predicted.counts.file_transfers == pytest.approx(
+        measured.replies_200, abs=tolerance
+    )
+    assert predicted.counts.invalidations == pytest.approx(
+        measured.invalidations, abs=tolerance
+    )

@@ -1,0 +1,142 @@
+"""Tests for the Section 4 failure scenarios end-to-end."""
+
+import pytest
+
+from repro.core import invalidation
+from repro.failures import FailureInjector
+from repro.http import Invalidate
+from repro.net import FixedLatency, Network
+from repro.proxy import Cache, ProxyCache
+from repro.server import FileStore, ServerSite
+from repro.sim import Simulator
+
+
+def build():
+    sim = Simulator()
+    net = Network(sim, latency=FixedLatency(0.001), connect_timeout=0.5)
+    fs = FileStore.from_catalog({"/a": 1000, "/b": 2000})
+    protocol = invalidation(retry_interval=5.0)
+    server = ServerSite(sim, net, "server", fs, accel=protocol.accelerator)
+    proxy = ProxyCache(
+        sim,
+        net,
+        "proxy-0",
+        "server",
+        policy=protocol.client_policy,
+        cache=Cache(),
+        oracle=lambda url: fs.get(url).last_modified,
+    )
+    return sim, net, fs, server, proxy, FailureInjector(sim=sim, network=net)
+
+
+def request(sim, proxy, client, url):
+    holder = {}
+
+    def driver(sim):
+        holder["o"] = yield from proxy.request(client, url)
+
+    sim.process(driver(sim))
+    sim.run()
+    return holder["o"]
+
+
+class TestValidation:
+    def test_recovery_must_follow_crash(self):
+        sim, net, fs, server, proxy, inj = build()
+        with pytest.raises(ValueError):
+            inj.schedule_proxy_crash(proxy, at=10.0, recover_at=5.0)
+        with pytest.raises(ValueError):
+            inj.schedule_server_crash(server, at=10.0, recover_at=10.0)
+        with pytest.raises(ValueError):
+            inj.schedule_partition({"a"}, {"b"}, at=3.0, heal_at=3.0)
+
+
+class TestProxyFailure:
+    def test_missed_invalidation_handled_by_questionable_marking(self):
+        """Scenario 1: proxy down during invalidation; no stale serve."""
+        sim, net, fs, server, proxy, inj = build()
+        request(sim, proxy, "c1", "/a")
+
+        inj.schedule_proxy_crash(proxy, at=sim.now + 1.0, recover_at=sim.now + 100.0)
+        sim.run(until=sim.now + 2.0)
+
+        # Modify while the proxy is down; invalidation can't reach it, but
+        # the reliable channel keeps retrying.
+        fs.modify("/a", now=sim.now)
+        server.check_in("/a")
+        sim.run(until=sim.now + 200.0)
+
+        # After recovery the entry is questionable; whether or not the
+        # retried INVALIDATE already arrived, the client never sees stale
+        # data.
+        outcome = request(sim, proxy, "c1", "/a")
+        assert not outcome.stale_served
+        assert outcome.status in (200, None) or outcome.validated
+
+    def test_recovery_marks_everything_questionable(self):
+        sim, net, fs, server, proxy, inj = build()
+        request(sim, proxy, "c1", "/a")
+        request(sim, proxy, "c1", "/b")
+        inj.schedule_proxy_crash(proxy, at=sim.now + 1.0, recover_at=sim.now + 2.0)
+        sim.run(until=sim.now + 3.0)
+        events = [e.kind for e in inj.log]
+        assert "proxy-crash" in events
+        assert any(k.startswith("proxy-recover(2") for k in events)
+        outcome = request(sim, proxy, "c1", "/b")
+        assert outcome.validated  # questionable -> revalidate
+        assert outcome.status == 304
+
+
+class TestServerFailure:
+    def test_modification_during_outage_not_served_stale(self):
+        """Scenario 2: server dies, document changes, server recovers."""
+        sim, net, fs, server, proxy, inj = build()
+        request(sim, proxy, "c1", "/a")
+        inj.schedule_server_crash(server, at=sim.now + 1.0, recover_at=sim.now + 50.0)
+        sim.run(until=sim.now + 2.0)
+        # "Modified" while down: e.g. restored from backup with new data.
+        fs.modify("/a", now=sim.now)
+        sim.run(until=sim.now + 100.0)
+        # Recovery fan-out marked the proxy's entries questionable.
+        assert proxy.server_invalidations_received == 1
+        outcome = request(sim, proxy, "c1", "/a")
+        assert outcome.validated
+        assert outcome.status == 200
+        assert not outcome.stale_served
+
+    def test_site_lists_rebuilt_after_crash(self):
+        sim, net, fs, server, proxy, inj = build()
+        request(sim, proxy, "c1", "/a")
+        assert server.table.total_entries() == 1
+        inj.schedule_server_crash(server, at=sim.now + 1.0, recover_at=sim.now + 2.0)
+        sim.run(until=sim.now + 5.0)
+        assert server.table.total_entries() == 0  # volatile state lost
+        request(sim, proxy, "c1", "/a")  # questionable -> IMS re-registers
+        assert server.table.total_entries() == 1
+
+
+class TestPartition:
+    def test_invalidation_delivered_after_heal(self):
+        """Scenario 3: TCP retry carries the invalidation across a heal."""
+        sim, net, fs, server, proxy, inj = build()
+        request(sim, proxy, "c1", "/a")
+        inj.schedule_partition(
+            {"server"}, {"proxy-0"}, at=sim.now + 1.0, heal_at=sim.now + 30.0
+        )
+        sim.run(until=sim.now + 2.0)
+        fs.modify("/a", now=sim.now)
+        server.check_in("/a")
+        sim.run(until=sim.now + 60.0)
+        assert proxy.invalidations_received == 1
+        outcome = request(sim, proxy, "c1", "/a")
+        assert outcome.transfer  # fresh copy fetched after invalidation
+        assert not outcome.stale_served
+
+    def test_requests_fail_during_partition(self):
+        sim, net, fs, server, proxy, inj = build()
+        inj.schedule_partition(
+            {"server"}, {"proxy-0"}, at=sim.now + 1.0, heal_at=sim.now + 100.0
+        )
+        sim.run(until=sim.now + 2.0)
+        outcome = request(sim, proxy, "c2", "/a")
+        assert outcome.failed

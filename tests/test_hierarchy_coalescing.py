@@ -1,0 +1,100 @@
+"""Tests for upstream request coalescing at parent proxies."""
+
+from repro.core import invalidation
+from repro.hierarchy import ParentProxy
+from repro.net import FixedLatency, Network
+from repro.proxy import Cache, ProxyCache
+from repro.server import FileStore, ServerSite
+from repro.sim import Simulator
+
+
+def build():
+    sim = Simulator()
+    # Slow LAN so concurrent misses genuinely overlap.
+    net = Network(sim, latency=FixedLatency(0.05), connect_timeout=0.5)
+    fs = FileStore.from_catalog({"/a": 1000, "/b": 500})
+    protocol = invalidation()
+    server = ServerSite(sim, net, "server", fs, accel=protocol.accelerator)
+    parent = ParentProxy(sim, net, "parent", "server")
+    children = [
+        ProxyCache(
+            sim, net, f"child-{i}", "parent",
+            policy=protocol.client_policy, cache=Cache(),
+        )
+        for i in range(3)
+    ]
+    return sim, fs, server, parent, children
+
+
+def test_concurrent_misses_share_one_upstream_fetch():
+    sim, fs, server, parent, children = build()
+    outcomes = []
+
+    def driver(sim, child, client):
+        outcome = yield from child.request(client, "/a")
+        outcomes.append(outcome)
+
+    for i, child in enumerate(children):
+        sim.process(driver(sim, child, f"c{i}"))
+    sim.run()
+    assert len(outcomes) == 3
+    assert all(o.transfer and o.body_bytes == 1000 for o in outcomes)
+    # One origin fetch; two requests coalesced onto it.
+    assert server.requests_handled == 1
+    assert parent.upstream_fetches == 1
+    assert parent.coalesced_fetches == 2
+
+
+def test_different_urls_not_coalesced():
+    sim, fs, server, parent, children = build()
+
+    def driver(sim, child, client, url):
+        yield from child.request(client, url)
+
+    sim.process(driver(sim, children[0], "c0", "/a"))
+    sim.process(driver(sim, children[1], "c1", "/b"))
+    sim.run()
+    assert parent.upstream_fetches == 2
+    assert parent.coalesced_fetches == 0
+
+
+def test_sequential_requests_not_coalesced():
+    sim, fs, server, parent, children = build()
+
+    def driver(sim):
+        yield from children[0].request("c0", "/a")
+        # Second request hits the parent cache, no upstream fetch at all.
+        yield from children[1].request("c1", "/a")
+
+    sim.process(driver(sim))
+    sim.run()
+    assert parent.upstream_fetches == 1
+    assert parent.coalesced_fetches == 0
+    assert server.requests_handled == 1
+
+
+def test_coalesced_after_invalidation_refetch():
+    sim, fs, server, parent, children = build()
+
+    def seed(sim):
+        yield from children[0].request("c0", "/a")
+        yield from children[1].request("c1", "/a")
+
+    sim.process(seed(sim))
+    sim.run()
+    fs.modify("/a", now=sim.now)
+    server.check_in("/a")
+    sim.run()
+
+    outcomes = []
+
+    def driver(sim, child, client):
+        outcome = yield from child.request(client, "/a")
+        outcomes.append(outcome)
+
+    sim.process(driver(sim, children[0], "c0"))
+    sim.process(driver(sim, children[1], "c1"))
+    sim.run()
+    # Both were invalidated; the refetch coalesces to one origin hit.
+    assert server.requests_handled == 2  # initial + one refetch
+    assert all(not o.stale_served for o in outcomes)

@@ -1,0 +1,259 @@
+"""Integration tests for the ProxyCache node with real protocols."""
+
+import pytest
+
+from repro.core import (
+    adaptive_ttl,
+    invalidation,
+    lease_invalidation,
+    poll_every_time,
+    two_tier_lease,
+)
+from repro.net import FixedLatency, Network
+from repro.proxy import Cache, ProxyCache
+from repro.server import FileStore, ServerSite
+from repro.sim import Simulator
+
+
+def build(protocol, docs=None, cache_bytes=None, latency=0.001):
+    sim = Simulator()
+    net = Network(sim, latency=FixedLatency(latency), connect_timeout=0.5)
+    fs = FileStore.from_catalog(docs or {"/a": 1000, "/b": 2000})
+    server = ServerSite(sim, net, "server", fs, accel=protocol.accelerator)
+    cache = Cache(
+        capacity_bytes=cache_bytes, expired_first=protocol.expired_first_cache
+    )
+    proxy = ProxyCache(
+        sim,
+        net,
+        "proxy-0",
+        "server",
+        policy=protocol.client_policy,
+        cache=cache,
+        oracle=lambda url: fs.get(url).last_modified,
+    )
+    return sim, net, fs, server, proxy
+
+
+def run_request(sim, proxy, client, url):
+    holder = {}
+
+    def driver(sim):
+        holder["outcome"] = yield from proxy.request(client, url)
+
+    sim.process(driver(sim))
+    sim.run()
+    return holder["outcome"]
+
+
+class TestMissAndHit:
+    def test_first_request_is_a_miss_with_transfer(self):
+        sim, net, fs, server, proxy = build(poll_every_time())
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.fetched and outcome.transfer
+        assert not outcome.had_cached_copy
+        assert not outcome.hit
+        assert outcome.body_bytes == 1000
+        assert outcome.latency > 0
+
+    def test_private_caches_per_client(self):
+        sim, net, fs, server, proxy = build(invalidation())
+        run_request(sim, proxy, "c1", "/a")
+        outcome = run_request(sim, proxy, "c2", "/a")
+        # Different real client: cache miss despite shared proxy.
+        assert not outcome.had_cached_copy
+        assert outcome.transfer
+
+
+class TestPolling:
+    def test_hit_validates_and_serves_on_304(self):
+        sim, net, fs, server, proxy = build(poll_every_time())
+        run_request(sim, proxy, "c1", "/a")
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.validated
+        assert outcome.status == 304
+        assert outcome.served_from_cache
+        assert outcome.hit
+        assert not outcome.stale_served
+
+    def test_modified_document_transfers_but_counts_hit(self):
+        sim, net, fs, server, proxy = build(poll_every_time())
+        run_request(sim, proxy, "c1", "/a")
+        fs.modify("/a", now=sim.now + 1)
+        sim.run(until=sim.now + 2)
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.validated
+        assert outcome.status == 200
+        assert outcome.transfer
+        # Paper: polling hit counts include hits on stale documents.
+        assert outcome.hit
+        assert not outcome.stale_served  # user never saw the stale copy
+
+    def test_never_serves_stale(self):
+        sim, net, fs, server, proxy = build(poll_every_time())
+        for i in range(5):
+            run_request(sim, proxy, "c1", "/a")
+            fs.modify("/a", now=sim.now + 1)
+            sim.run(until=sim.now + 2)
+            outcome = run_request(sim, proxy, "c1", "/a")
+            assert not outcome.stale_served
+
+
+class TestAdaptiveTtl:
+    def test_fresh_serve_without_server_contact(self):
+        sim, net, fs, server, proxy = build(adaptive_ttl())
+        # Age the document so it earns a decent TTL.
+        fs.get("/a").last_modified = -86400.0
+        run_request(sim, proxy, "c1", "/a")
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.served_from_cache
+        assert not outcome.validated
+        assert outcome.hit
+
+    def test_expired_copy_validated(self):
+        prot = adaptive_ttl(factor=0.2, min_ttl=0.0)
+        sim, net, fs, server, proxy = build(prot)
+        fs.get("/a").last_modified = -10.0  # tiny age -> tiny TTL
+        run_request(sim, proxy, "c1", "/a")
+        sim.run(until=sim.now + 100.0)
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.validated
+        assert outcome.status == 304
+        assert outcome.hit  # 304-refresh counts as hit
+
+    def test_stale_hit_detected_by_oracle(self):
+        sim, net, fs, server, proxy = build(adaptive_ttl())
+        fs.get("/a").last_modified = -10 * 86400.0  # old -> long TTL
+        run_request(sim, proxy, "c1", "/a")
+        fs.modify("/a", now=sim.now + 1)
+        sim.run(until=sim.now + 2)
+        outcome = run_request(sim, proxy, "c1", "/a")
+        # TTL still fresh, so the stale copy is served: a stale hit.
+        assert outcome.served_from_cache
+        assert outcome.stale_served
+
+
+class TestInvalidation:
+    def test_valid_copy_served_locally(self):
+        sim, net, fs, server, proxy = build(invalidation())
+        run_request(sim, proxy, "c1", "/a")
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.served_from_cache
+        assert not outcome.validated
+        assert outcome.hit
+
+    def test_invalidate_deletes_copy_and_next_request_misses(self):
+        sim, net, fs, server, proxy = build(invalidation())
+        run_request(sim, proxy, "c1", "/a")
+        fs.modify("/a", now=sim.now + 1)
+        server.check_in("/a")
+        sim.run()
+        assert proxy.invalidations_received == 1
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert not outcome.had_cached_copy
+        assert outcome.transfer
+        assert not outcome.stale_served
+
+    def test_strong_consistency_no_stale_serves(self):
+        sim, net, fs, server, proxy = build(invalidation())
+        for i in range(5):
+            run_request(sim, proxy, "c1", "/a")
+            fs.modify("/a", now=sim.now + 1)
+            server.check_in("/a")
+            sim.run()
+            outcome = run_request(sim, proxy, "c1", "/a")
+            assert not outcome.stale_served
+
+    def test_unrelated_client_copy_unaffected(self):
+        sim, net, fs, server, proxy = build(invalidation())
+        run_request(sim, proxy, "c1", "/a")
+        run_request(sim, proxy, "c1", "/b")
+        fs.modify("/a", now=sim.now + 1)
+        server.check_in("/a")
+        sim.run()
+        outcome = run_request(sim, proxy, "c1", "/b")
+        assert outcome.served_from_cache
+
+
+class TestLeases:
+    def test_lease_expiry_forces_validation(self):
+        prot = lease_invalidation(lease_duration=5.0)
+        sim, net, fs, server, proxy = build(prot)
+        run_request(sim, proxy, "c1", "/a")
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.served_from_cache and not outcome.validated
+        sim.run(until=sim.now + 10.0)  # lease lapses
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.validated
+        assert outcome.status == 304
+
+    def test_validation_renews_lease(self):
+        prot = lease_invalidation(lease_duration=5.0)
+        sim, net, fs, server, proxy = build(prot)
+        run_request(sim, proxy, "c1", "/a")
+        sim.run(until=sim.now + 10.0)
+        run_request(sim, proxy, "c1", "/a")  # IMS renews lease
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.served_from_cache and not outcome.validated
+
+    def test_two_tier_first_get_not_registered_second_is(self):
+        prot = two_tier_lease(lease_duration=100.0)
+        sim, net, fs, server, proxy = build(prot)
+        run_request(sim, proxy, "c1", "/a")
+        assert server.table.total_entries() == 0
+        outcome = run_request(sim, proxy, "c1", "/a")
+        # Zero GET lease: second access must validate...
+        assert outcome.validated and outcome.status == 304
+        # ...which registers the site with a full lease.
+        assert server.table.total_entries() == 1
+        # Third access is served locally under the lease.
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.served_from_cache and not outcome.validated
+
+    def test_two_tier_still_strongly_consistent(self):
+        prot = two_tier_lease(lease_duration=100.0)
+        sim, net, fs, server, proxy = build(prot)
+        run_request(sim, proxy, "c1", "/a")
+        run_request(sim, proxy, "c1", "/a")  # now registered
+        fs.modify("/a", now=sim.now + 1)
+        server.check_in("/a")
+        sim.run()
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.transfer
+        assert not outcome.stale_served
+
+
+class TestFailures:
+    def test_server_down_request_fails(self):
+        sim, net, fs, server, proxy = build(poll_every_time())
+        server.crash()
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.failed
+        assert proxy.failed_requests == 1
+
+    def test_proxy_recovery_marks_questionable_and_revalidates(self):
+        sim, net, fs, server, proxy = build(invalidation())
+        run_request(sim, proxy, "c1", "/a")
+        proxy.crash()
+        flagged = proxy.recover()
+        assert flagged == 1
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.validated  # questionable copy revalidated
+        assert outcome.status == 304
+        assert proxy.questionable_validations == 1
+
+    def test_server_recovery_invalidate_by_server(self):
+        sim, net, fs, server, proxy = build(invalidation())
+        run_request(sim, proxy, "c1", "/a")
+        run_request(sim, proxy, "c1", "/b")
+        server.crash()
+        fs.modify("/a", now=sim.now + 1)  # changed while server down
+        server.recover()
+        sim.run()
+        assert proxy.server_invalidations_received == 1
+        # Both copies questionable now; /a validation returns 200.
+        outcome = run_request(sim, proxy, "c1", "/a")
+        assert outcome.validated and outcome.status == 200
+        assert not outcome.stale_served
+        outcome = run_request(sim, proxy, "c1", "/b")
+        assert outcome.validated and outcome.status == 304

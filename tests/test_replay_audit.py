@@ -1,0 +1,74 @@
+"""Tests for the post-run invariant audit."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import adaptive_ttl, invalidation, poll_every_time, two_tier_lease
+from repro.replay import (
+    AuditError,
+    ExperimentConfig,
+    audit_result,
+    run_experiment,
+)
+from repro.sim import RngRegistry
+from repro.traces import PROFILES, generate_trace
+from repro.workload import DAYS
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_trace(PROFILES["SDSC"].scaled(0.03), RngRegistry(seed=5))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [poll_every_time, invalidation, adaptive_ttl, two_tier_lease],
+    ids=["polling", "invalidation", "ttl", "two-tier"],
+)
+def test_all_protocol_replays_audit_clean(small_trace, factory):
+    result = run_experiment(
+        ExperimentConfig(
+            trace=small_trace, protocol=factory(), mean_lifetime=3 * DAYS
+        )
+    )
+    checks = audit_result(result)
+    assert "zero-violations" in checks
+    assert "one-reply-per-request" in checks
+
+
+def test_hierarchical_replay_audits_with_flag(small_trace):
+    result = run_experiment(
+        ExperimentConfig(
+            trace=small_trace,
+            protocol=invalidation(),
+            mean_lifetime=3 * DAYS,
+            hierarchy_parents=2,
+        )
+    )
+    checks = audit_result(result, hierarchical=True)
+    # Hop-exact checks skipped for hierarchies.
+    assert "one-reply-per-request" not in checks
+    assert "zero-violations" in checks
+
+
+def test_audit_detects_tampering(small_trace):
+    result = run_experiment(
+        ExperimentConfig(
+            trace=small_trace, protocol=poll_every_time(), mean_lifetime=3 * DAYS
+        )
+    )
+    broken = dataclasses.replace(result, replies_200=result.replies_200 + 1)
+    with pytest.raises(AuditError):
+        audit_result(broken)
+
+
+def test_audit_detects_violation_count(small_trace):
+    result = run_experiment(
+        ExperimentConfig(
+            trace=small_trace, protocol=invalidation(), mean_lifetime=3 * DAYS
+        )
+    )
+    result.counters.violations = 1
+    with pytest.raises(AuditError, match="zero-violations"):
+        audit_result(result)

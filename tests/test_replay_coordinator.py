@@ -1,0 +1,74 @@
+"""Unit tests for the lock-step time coordinator."""
+
+import pytest
+
+from repro.replay import TimeCoordinator
+from repro.sim import Simulator
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        TimeCoordinator(Simulator(), interval=0)
+
+
+def test_requires_participants():
+    sim = Simulator()
+    coord = TimeCoordinator(sim)
+    proc = sim.process(coord.run(100.0))
+    with pytest.raises(ValueError):
+        sim.run()
+    assert proc.triggered
+
+
+def test_intervals_cover_duration():
+    sim = Simulator()
+    coord = TimeCoordinator(sim, interval=300.0)
+    windows = []
+
+    def participant(start, end):
+        windows.append((start, end))
+        yield sim.timeout(1.0)
+
+    coord.register(participant)
+    sim.process(coord.run(1000.0))
+    sim.run()
+    assert windows == [(0.0, 300.0), (300.0, 600.0), (600.0, 900.0), (900.0, 1000.0)]
+    assert coord.intervals_completed == 4
+    assert coord.trace_time == 1000.0
+
+
+def test_barrier_waits_for_slowest_participant():
+    sim = Simulator()
+    coord = TimeCoordinator(sim, interval=100.0)
+    starts = []
+
+    def fast(start, end):
+        starts.append(("fast", start, sim.now))
+        yield sim.timeout(1.0)
+
+    def slow(start, end):
+        starts.append(("slow", start, sim.now))
+        yield sim.timeout(10.0)
+
+    coord.register(fast)
+    coord.register(slow)
+    sim.process(coord.run(200.0))
+    sim.run()
+    # Interval 2 starts only after slow finished interval 1 (wall 10.0).
+    assert ("fast", 100.0, 10.0) in starts
+    assert sim.now == 20.0  # two intervals, each paced by `slow`
+
+
+def test_wall_clock_decoupled_from_trace_time():
+    sim = Simulator()
+    coord = TimeCoordinator(sim, interval=300.0)
+
+    def quick(start, end):
+        yield sim.timeout(2.0)
+
+    coord.register(quick)
+    sim.process(coord.run(3000.0))
+    sim.run()
+    # 10 intervals x 2s wall each: trace time 3000, wall time 20.
+    assert coord.trace_time == 3000.0
+    assert sim.now == pytest.approx(20.0)

@@ -1,0 +1,67 @@
+"""Tests for result JSON serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import invalidation
+from repro.replay import (
+    ExperimentConfig,
+    read_results_json,
+    result_to_dict,
+    results_to_json,
+    run_experiment,
+    write_results_json,
+)
+from repro.sim import RngRegistry
+from repro.traces import PROFILES, generate_trace
+from repro.workload import DAYS
+
+
+@pytest.fixture(scope="module")
+def result():
+    trace = generate_trace(PROFILES["SDSC"].scaled(0.02), RngRegistry(seed=6))
+    return run_experiment(
+        ExperimentConfig(
+            trace=trace, protocol=invalidation(), mean_lifetime=3 * DAYS
+        )
+    )
+
+
+def test_dict_has_all_table_fields(result):
+    data = result_to_dict(result)
+    for field in ("protocol", "total_messages", "message_bytes",
+                  "cpu_utilization", "sitelist_entries", "wall_time"):
+        assert field in data
+    assert data["counters"]["requests"] == result.counters.requests
+    assert data["latency"]["max"] == result.max_latency
+    assert data["latency"]["p50"] <= data["latency"]["p99"]
+    assert data["counters"]["violations"] == 0
+
+
+def test_json_round_trip(result):
+    text = results_to_json([result, result])
+    loaded = json.loads(text)
+    assert len(loaded) == 2
+    assert loaded[0]["protocol"] == "invalidation"
+    assert loaded[0] == loaded[1]
+
+
+def test_write_and_read(result):
+    buffer = io.StringIO()
+    assert write_results_json([result], buffer) == 1
+    buffer.seek(0)
+    loaded = read_results_json(buffer)
+    assert loaded[0]["total_messages"] == result.total_messages
+
+
+def test_read_rejects_non_list():
+    with pytest.raises(ValueError):
+        read_results_json(io.StringIO('{"not": "a list"}'))
+
+
+def test_json_is_plain_data(result):
+    # No objects sneak through: encoding must succeed with the strict
+    # default encoder.
+    json.dumps(result_to_dict(result))

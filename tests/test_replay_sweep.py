@@ -1,0 +1,82 @@
+"""Tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.core import invalidation, poll_every_time
+from repro.replay import (
+    ExperimentConfig,
+    sweep,
+    sweep_table,
+)
+from repro.sim import RngRegistry
+from repro.traces import PROFILES, generate_trace
+from repro.workload import DAYS
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    trace = generate_trace(PROFILES["SDSC"].scaled(0.02), RngRegistry(seed=8))
+    return ExperimentConfig(
+        trace=trace, protocol=invalidation(), mean_lifetime=3 * DAYS
+    )
+
+
+def test_sweep_runs_each_point(base_config):
+    results = sweep(
+        base_config,
+        [
+            ("invalidation", {}),
+            ("polling", {"protocol": poll_every_time()}),
+        ],
+    )
+    assert [r.label for r in results] == ["invalidation", "polling"]
+    assert results[0].result.protocol == "invalidation"
+    assert results[1].result.protocol == "poll-every-time"
+    assert results[1].result.total_messages > results[0].result.total_messages
+
+
+def test_sweep_overrides_config_fields(base_config):
+    results = sweep(
+        base_config,
+        [("tiny-cache", {"proxy_cache_bytes": 1 << 20})],
+    )
+    assert results[0].config.proxy_cache_bytes == 1 << 20
+
+
+def test_sweep_runner_injection(base_config):
+    calls = []
+
+    def fake_runner(config):
+        calls.append(config)
+        from repro.replay import ExperimentResult
+
+        return ExperimentResult(
+            protocol=config.protocol.name,
+            trace_name="t",
+            mean_lifetime=config.mean_lifetime,
+            total_requests=0,
+            files_modified=0,
+        )
+
+    results = sweep(base_config, [("a", {}), ("b", {})], runner=fake_runner)
+    assert len(calls) == 2
+    assert len(results) == 2
+
+
+def test_sweep_table_formatting(base_config):
+    results = sweep(
+        base_config,
+        [
+            ("invalidation", {}),
+            ("polling", {"protocol": poll_every_time()}),
+        ],
+    )
+    table = sweep_table(results, ["total_messages", "avg_latency"])
+    assert "total_messages" in table
+    assert "invalidation" in table and "polling" in table
+    assert len(table.splitlines()) == 3
+
+
+def test_sweep_table_empty_rejected():
+    with pytest.raises(ValueError):
+        sweep_table([], ["total_messages"])

@@ -1,0 +1,64 @@
+"""Unit tests for the document file store."""
+
+import random
+
+import pytest
+
+from repro.server import Document, FileStore
+
+
+def store_with(urls):
+    return FileStore({u: Document(url=u, size=s, last_modified=0.0) for u, s in urls.items()})
+
+
+def test_from_catalog_basic():
+    fs = FileStore.from_catalog({"/a": 100, "/b": 200})
+    assert len(fs) == 2
+    assert "/a" in fs
+    assert fs.get("/a").size == 100
+    assert fs.get("/a").last_modified == 0.0
+    assert set(fs.urls) == {"/a", "/b"}
+    assert set(iter(fs)) == {"/a", "/b"}
+
+
+def test_from_catalog_initial_ages_exponential():
+    rng = random.Random(1)
+    fs = FileStore.from_catalog(
+        {f"/u{i}": 10 for i in range(2000)}, mean_initial_age=100.0, rng=rng
+    )
+    ages = [-fs.get(u).last_modified for u in fs.urls]
+    assert all(a >= 0 for a in ages)
+    assert sum(ages) / len(ages) == pytest.approx(100.0, rel=0.15)
+
+
+def test_modify_bumps_mtime_and_version():
+    fs = store_with({"/a": 100})
+    doc = fs.modify("/a", now=50.0)
+    assert doc.last_modified == 50.0
+    assert doc.version == 1
+    assert fs.modification_count == 1
+    fs.modify("/a", now=60.0)
+    assert fs.get("/a").version == 2
+
+
+def test_modified_since():
+    fs = store_with({"/a": 100})
+    fs.modify("/a", now=10.0)
+    assert fs.modified_since("/a", 5.0)
+    assert not fs.modified_since("/a", 10.0)
+    assert not fs.modified_since("/a", 15.0)
+
+
+def test_age():
+    fs = store_with({"/a": 100})
+    fs.modify("/a", now=10.0)
+    assert fs.age("/a", now=35.0) == 25.0
+    assert fs.age("/a", now=5.0) == 0.0
+
+
+def test_unknown_url_raises():
+    fs = store_with({"/a": 100})
+    with pytest.raises(KeyError):
+        fs.get("/nope")
+    with pytest.raises(KeyError):
+        fs.modify("/nope", 1.0)

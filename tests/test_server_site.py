@@ -1,0 +1,239 @@
+"""Integration-level tests for the ServerSite (HTTPD + accelerator)."""
+
+import math
+
+import pytest
+
+from repro.http import (
+    NOT_MODIFIED,
+    OK,
+    HttpResponse,
+    Invalidate,
+    make_get,
+    make_ims,
+)
+from repro.net import FixedLatency, Network
+from repro.server import AcceleratorConfig, FileStore, ServerSite
+from repro.sim import Simulator
+
+
+def setup_site(accel=None, docs=None, latency=0.001):
+    sim = Simulator()
+    net = Network(sim, latency=FixedLatency(latency), connect_timeout=0.5)
+    fs = FileStore.from_catalog(docs or {"/a": 1000, "/b": 5000})
+    site = ServerSite(sim, net, "server", fs, accel=accel)
+    inbox = []
+    net.register("proxy", inbox.append)
+    return sim, net, fs, site, inbox
+
+
+def replies(inbox):
+    return [m for m in inbox if isinstance(m, HttpResponse)]
+
+
+def invalidates(inbox):
+    return [m for m in inbox if isinstance(m, Invalidate)]
+
+
+def test_get_returns_200_with_body():
+    sim, net, fs, site, inbox = setup_site()
+    net.send(make_get("proxy", "server", "/a", client_id="c1"))
+    sim.run()
+    (reply,) = replies(inbox)
+    assert reply.status == OK
+    assert reply.body_bytes == 1000
+    assert site.replies_200 == 1
+    assert site.requests_handled == 1
+    assert site.disk_reads == 1
+    assert site.disk_writes >= 1  # request log
+
+
+def test_ims_unmodified_returns_304_without_disk_read():
+    sim, net, fs, site, inbox = setup_site()
+    net.send(make_ims("proxy", "server", "/a", client_id="c1", ims_timestamp=0.0))
+    sim.run()
+    (reply,) = replies(inbox)
+    assert reply.status == NOT_MODIFIED
+    assert site.replies_304 == 1
+    assert site.disk_reads == 0
+
+
+def test_ims_after_modification_returns_200():
+    sim, net, fs, site, inbox = setup_site()
+    fs.modify("/a", now=10.0)
+    net.send(make_ims("proxy", "server", "/a", client_id="c1", ims_timestamp=0.0))
+    sim.run()
+    (reply,) = replies(inbox)
+    assert reply.status == OK
+    assert reply.last_modified == 10.0
+
+
+def test_server_cpu_and_disk_accumulate():
+    sim, net, fs, site, inbox = setup_site()
+    for i in range(5):
+        net.send(make_get("proxy", "server", "/a", client_id=f"c{i}"))
+    sim.run()
+    assert site.cpu.busy_time() > 0
+    assert site.disk.busy_time() > 0
+    assert len(replies(inbox)) == 5
+
+
+def test_invalidation_disabled_does_not_track_sites():
+    sim, net, fs, site, inbox = setup_site(accel=AcceleratorConfig(invalidation=False))
+    net.send(make_get("proxy", "server", "/a", client_id="c1"))
+    sim.run()
+    assert site.table.total_entries() == 0
+    site.check_in("/a")
+    sim.run()
+    assert invalidates(inbox) == []
+
+
+class TestInvalidation:
+    def test_get_registers_site(self):
+        sim, net, fs, site, inbox = setup_site(accel=AcceleratorConfig(invalidation=True))
+        net.send(make_get("proxy", "server", "/a", client_id="c1"))
+        sim.run()
+        assert site.table.total_entries() == 1
+        assert "c1" in site.known_sites
+
+    def test_check_in_sends_invalidations_to_registered_sites(self):
+        sim, net, fs, site, inbox = setup_site(accel=AcceleratorConfig(invalidation=True))
+        net.send(make_get("proxy", "server", "/a", client_id="c1"))
+        net.send(make_get("proxy", "server", "/a", client_id="c2"))
+        net.send(make_get("proxy", "server", "/b", client_id="c3"))
+        sim.run()
+        fs.modify("/a", now=sim.now)
+        site.check_in("/a")
+        sim.run()
+        invs = invalidates(inbox)
+        assert {i.client_id for i in invs} == {"c1", "c2"}
+        assert all(i.url == "/a" for i in invs)
+        assert site.invalidations_sent == 2
+        # Sites are forgotten once invalidated.
+        assert len(site.table.site_list("/a")) == 0
+        assert len(site.invalidation_times) == 1
+
+    def test_browser_based_detection(self):
+        sim, net, fs, site, inbox = setup_site(accel=AcceleratorConfig(invalidation=True))
+        net.send(make_get("proxy", "server", "/a", client_id="c1"))
+        sim.run()
+        # No change yet: check returns False and sends nothing.
+        site.check_document("/a")
+        assert site.check_document("/a") is False
+        fs.modify("/a", now=sim.now + 1)
+        assert site.check_document("/a") is True
+        sim.run()
+        assert len(invalidates(inbox)) == 1
+
+    def test_blocking_send_stalls_new_requests(self):
+        """With blocking_send, a request arriving mid-fan-out waits."""
+        accel = AcceleratorConfig(invalidation=True, blocking_send=True)
+        sim, net, fs, site, inbox = setup_site(accel=accel)
+        # Register many sites for /a.
+        for i in range(50):
+            net.send(make_get("proxy", "server", "/a", client_id=f"c{i}"))
+        sim.run()
+        baseline_replies = len(replies(inbox))
+        fs.modify("/a", now=sim.now)
+        site.check_in("/a")
+        # A request that lands during the fan-out...
+        net.send(make_get("proxy", "server", "/b", client_id="x"))
+        sim.run()
+        fanout = site.invalidation_times[0]
+        reply_b = [r for r in replies(inbox)[baseline_replies:] if r.url == "/b"]
+        assert len(reply_b) == 1
+        # ...was answered only after the fan-out finished (it stalls).
+        assert fanout > 0.05
+
+    def test_decoupled_send_does_not_hold_accept_lock(self):
+        accel = AcceleratorConfig(invalidation=True, blocking_send=False)
+        sim, net, fs, site, inbox = setup_site(accel=accel)
+        for i in range(50):
+            net.send(make_get("proxy", "server", "/a", client_id=f"c{i}"))
+        sim.run()
+        fs.modify("/a", now=sim.now)
+        site.check_in("/a")
+        sim.run()
+        assert site.invalidations_sent == 50
+
+
+class TestLeases:
+    def test_lease_expiry_granted_on_replies(self):
+        accel = AcceleratorConfig(
+            invalidation=True, lease_get=100.0, lease_ims=100.0, grant_leases=True
+        )
+        sim, net, fs, site, inbox = setup_site(accel=accel)
+        net.send(make_get("proxy", "server", "/a", client_id="c1"))
+        sim.run()
+        (reply,) = replies(inbox)
+        assert reply.lease_expires == pytest.approx(sim.now, abs=101.0)
+        assert reply.lease_expires is not None
+
+    def test_expired_lease_not_invalidated(self):
+        accel = AcceleratorConfig(
+            invalidation=True, lease_get=1.0, lease_ims=1.0, grant_leases=True
+        )
+        sim, net, fs, site, inbox = setup_site(accel=accel)
+        net.send(make_get("proxy", "server", "/a", client_id="c1"))
+        sim.run()
+        # Let the lease lapse, then modify.
+        sim.run(until=sim.now + 10.0)
+        fs.modify("/a", now=sim.now)
+        site.check_in("/a")
+        sim.run()
+        assert invalidates(inbox) == []
+
+    def test_two_tier_zero_get_lease_not_registered(self):
+        accel = AcceleratorConfig(
+            invalidation=True, lease_get=0.0, lease_ims=100.0, grant_leases=True
+        )
+        sim, net, fs, site, inbox = setup_site(accel=accel)
+        net.send(make_get("proxy", "server", "/a", client_id="c1"))
+        sim.run()
+        assert site.table.total_entries() == 0
+        (reply,) = replies(inbox)
+        # Zero lease: expires immediately (client must validate next time).
+        assert reply.lease_expires is not None
+        # The validation earns a full lease and registration.
+        net.send(
+            make_ims("proxy", "server", "/a", client_id="c1", ims_timestamp=0.0)
+        )
+        sim.run()
+        assert site.table.total_entries() == 1
+
+
+class TestCrashRecovery:
+    def test_crash_loses_volatile_site_lists(self):
+        sim, net, fs, site, inbox = setup_site(accel=AcceleratorConfig(invalidation=True))
+        net.send(make_get("proxy", "server", "/a", client_id="c1"))
+        sim.run()
+        assert site.table.total_entries() == 1
+        site.crash()
+        assert site.table.total_entries() == 0
+        assert "c1" in site.known_sites  # persistent log survives
+
+    def test_recovery_sends_invalidate_by_server_to_each_proxy(self):
+        sim, net, fs, site, inbox = setup_site(accel=AcceleratorConfig(invalidation=True))
+        other_inbox = []
+        net.register("proxy2", other_inbox.append)
+        net.send(make_get("proxy", "server", "/a", client_id="c1"))
+        net.send(make_get("proxy", "server", "/b", client_id="c2"))
+        net.send(make_get("proxy2", "server", "/a", client_id="c3"))
+        sim.run()
+        site.crash()
+        recovery = site.recover()
+        sim.run()
+        assert recovery.processed
+        # One INVALIDATE-by-server per proxy host (deduplicated).
+        invs1 = [m for m in invalidates(inbox) if m.server == "server"]
+        invs2 = [m for m in invalidates(other_inbox) if m.server == "server"]
+        assert len(invs1) == 1
+        assert len(invs2) == 1
+
+    def test_crashed_server_unreachable(self):
+        sim, net, fs, site, inbox = setup_site()
+        site.crash()
+        net.send(make_get("proxy", "server", "/a", client_id="c1"))
+        sim.run()
+        assert replies(inbox) == []
+        assert net.stats.total_dropped == 1

@@ -1,0 +1,152 @@
+"""Unit tests for the simulation kernel's event loop and events."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator, Timeout
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=100.0)
+    assert sim.now == 100.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_run_until_advances_clock_without_events():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_run_until_does_not_process_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule_callback(10.0, lambda: fired.append(sim.now))
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [10.0]
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run(until=10.0)
+    with pytest.raises(ValueError):
+        sim.run(until=5.0)
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_event_succeed_value():
+    sim = Simulator()
+    evt = sim.event()
+    assert not evt.triggered
+    evt.succeed(7)
+    assert evt.triggered
+    assert evt.value == 7
+    assert evt.ok
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    evt = sim.event()
+    evt.succeed()
+    with pytest.raises(SimulationError):
+        evt.succeed()
+    with pytest.raises(SimulationError):
+        evt.fail(RuntimeError())
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    evt = sim.event()
+    with pytest.raises(SimulationError):
+        _ = evt.value
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    evt = sim.event()
+    with pytest.raises(TypeError):
+        evt.fail("not an exception")
+
+
+def test_unhandled_failure_propagates_from_run():
+    sim = Simulator()
+    evt = sim.event()
+    evt.fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+def test_callbacks_run_on_processing():
+    sim = Simulator()
+    seen = []
+    evt = sim.timeout(1.0, value="v")
+    evt.callbacks.append(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["v"]
+    assert evt.processed
+
+
+def test_same_time_events_fifo_order():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.schedule_callback(1.0, (lambda i=i: order.append(i)))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_events_process_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule_callback(3.0, lambda: order.append(3))
+    sim.schedule_callback(1.0, lambda: order.append(1))
+    sim.schedule_callback(2.0, lambda: order.append(2))
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    assert sim.peek() == 4.0
+
+
+def test_stop_simulation_from_callback():
+    sim = Simulator()
+    sim.schedule_callback(1.0, sim.stop)
+    fired = []
+    sim.schedule_callback(2.0, lambda: fired.append(True))
+    sim.run()
+    assert sim.now == 1.0
+    assert fired == []
+    sim.run()  # can continue afterwards
+    assert fired == [True]
+
+
+def test_timeout_repr_mentions_delay():
+    sim = Simulator()
+    assert "2.5" in repr(Timeout(sim, 2.5))
+
+
+def test_event_repr():
+    sim = Simulator()
+    assert "Event" in repr(Event(sim))

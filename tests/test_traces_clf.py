@@ -1,0 +1,103 @@
+"""Unit tests for the Common Log Format reader/writer."""
+
+import io
+
+import pytest
+
+from repro.traces import (
+    Trace,
+    TraceRecord,
+    format_clf_line,
+    parse_clf_line,
+    read_clf,
+    write_clf,
+)
+
+GOOD = 'host1 - - [01/Jul/1995:00:00:01 -0400] "GET /a.html HTTP/1.0" 200 6245'
+
+
+def test_parse_good_line():
+    entry = parse_clf_line(GOOD)
+    assert entry is not None
+    assert entry.host == "host1"
+    assert entry.method == "GET"
+    assert entry.url == "/a.html"
+    assert entry.status == 200
+    assert entry.size == 6245
+
+
+def test_parse_dash_size():
+    entry = parse_clf_line(GOOD.replace("6245", "-"))
+    assert entry.size is None
+
+
+def test_parse_malformed_returns_none():
+    assert parse_clf_line("garbage line") is None
+    assert parse_clf_line('host - - [bad] "GET" 200') is None
+
+
+def test_parse_bad_timestamp_raises():
+    line = GOOD.replace("01/Jul/1995", "99/Zzz/1995")
+    with pytest.raises(ValueError):
+        parse_clf_line(line)
+
+
+def test_timezone_offset_applied():
+    east = parse_clf_line(GOOD)
+    utc = parse_clf_line(GOOD.replace("-0400", "+0000"))
+    assert east.timestamp - utc.timestamp == pytest.approx(4 * 3600)
+
+
+def test_read_clf_filters_and_rebases():
+    lines = [
+        GOOD,
+        'h2 - - [01/Jul/1995:00:00:11 -0400] "POST /cgi HTTP/1.0" 200 17',
+        'h2 - - [01/Jul/1995:00:00:21 -0400] "GET /b.html HTTP/1.0" 404 0',
+        'h2 - - [01/Jul/1995:00:00:31 -0400] "GET /b.html HTTP/1.0" 200 99',
+        "malformed",
+    ]
+    trace = read_clf(lines, name="mini")
+    assert len(trace) == 2
+    assert trace.records[0].timestamp == 0.0
+    assert trace.records[1].timestamp == 30.0
+    assert trace.documents == {"/a.html": 6245, "/b.html": 99}
+
+
+def test_read_clf_304_kept_and_largest_size_wins():
+    lines = [
+        GOOD,
+        'h2 - - [01/Jul/1995:00:01:01 -0400] "GET /a.html HTTP/1.0" 304 0',
+        'h3 - - [01/Jul/1995:00:02:01 -0400] "GET /a.html HTTP/1.0" 200 9999',
+    ]
+    trace = read_clf(lines)
+    assert len(trace) == 3
+    assert trace.documents["/a.html"] == 9999
+
+
+def test_read_clf_default_size_for_bodyless():
+    lines = ['h - - [01/Jul/1995:00:00:01 -0400] "GET /x HTTP/1.0" 200 -']
+    trace = read_clf(lines, default_size=777)
+    assert trace.documents["/x"] == 777
+
+
+def test_roundtrip_write_then_read():
+    trace = Trace(
+        name="rt",
+        records=[
+            TraceRecord(timestamp=0.0, client="c1", url="/a"),
+            TraceRecord(timestamp=60.0, client="c2", url="/b"),
+        ],
+        documents={"/a": 100, "/b": 200},
+        duration=120.0,
+    )
+    buf = io.StringIO()
+    assert write_clf(trace, buf) == 2
+    back = read_clf(buf.getvalue().splitlines(), name="rt")
+    assert [r.client for r in back.records] == ["c1", "c2"]
+    assert [r.timestamp for r in back.records] == [0.0, 60.0]
+    assert back.documents == {"/a": 100, "/b": 200}
+
+
+def test_format_clf_line_shape():
+    line = format_clf_line(TraceRecord(timestamp=0.0, client="c", url="/u"), size=5)
+    assert parse_clf_line(line) is not None

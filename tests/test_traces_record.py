@@ -1,0 +1,87 @@
+"""Unit tests for TraceRecord and Trace."""
+
+import pytest
+
+from repro.traces import Trace, TraceRecord
+
+
+def rec(t, client="c1", url="/a"):
+    return TraceRecord(timestamp=t, client=client, url=url)
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        TraceRecord(timestamp=-1.0, client="c", url="/a")
+    with pytest.raises(ValueError):
+        TraceRecord(timestamp=0.0, client="", url="/a")
+    with pytest.raises(ValueError):
+        TraceRecord(timestamp=0.0, client="c", url="")
+
+
+def test_records_order_by_timestamp():
+    assert rec(1.0) < rec(2.0)
+    assert sorted([rec(3.0), rec(1.0), rec(2.0)])[0].timestamp == 1.0
+
+
+def test_trace_requires_time_order():
+    with pytest.raises(ValueError):
+        Trace(
+            name="t",
+            records=[rec(2.0), rec(1.0)],
+            documents={"/a": 100},
+            duration=10.0,
+        )
+
+
+def test_trace_requires_known_documents():
+    with pytest.raises(ValueError):
+        Trace(name="t", records=[rec(1.0, url="/missing")], documents={}, duration=5.0)
+
+
+def test_trace_requires_positive_duration():
+    with pytest.raises(ValueError):
+        Trace(name="t", records=[], documents={}, duration=0.0)
+
+
+def test_trace_iteration_and_len():
+    trace = Trace(
+        name="t",
+        records=[rec(1.0), rec(2.0)],
+        documents={"/a": 100},
+        duration=10.0,
+    )
+    assert len(trace) == 2
+    assert [r.timestamp for r in trace] == [1.0, 2.0]
+
+
+def test_trace_clients_first_seen_order():
+    trace = Trace(
+        name="t",
+        records=[rec(1.0, client="b"), rec(2.0, client="a"), rec(3.0, client="b")],
+        documents={"/a": 100},
+        duration=10.0,
+    )
+    assert trace.clients == ["b", "a"]
+
+
+def test_trace_urls_include_unrequested_documents():
+    trace = Trace(
+        name="t",
+        records=[rec(1.0, url="/a")],
+        documents={"/a": 100, "/never": 5},
+        duration=10.0,
+    )
+    assert set(trace.urls) == {"/a", "/never"}
+
+
+def test_slice_shrinks_duration_proportionally():
+    records = [rec(float(i)) for i in range(10)]
+    trace = Trace(name="t", records=records, documents={"/a": 1}, duration=100.0)
+    small = trace.slice(5)
+    assert len(small) == 5
+    assert small.duration == pytest.approx(50.0)
+
+
+def test_slice_noop_when_large_enough():
+    trace = Trace(name="t", records=[rec(1.0)], documents={"/a": 1}, duration=10.0)
+    assert trace.slice(100) is trace

@@ -1,0 +1,81 @@
+"""Unit and property tests for the Zipf sampler."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traces import ZipfSampler
+
+
+def test_validation():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 1.0, rng)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, -0.5, rng)
+
+
+def test_single_item_always_zero():
+    sampler = ZipfSampler(1, 1.0, random.Random(0))
+    assert all(sampler.sample() == 0 for _ in range(20))
+
+
+def test_samples_in_range():
+    sampler = ZipfSampler(50, 0.8, random.Random(1))
+    assert all(0 <= s < 50 for s in sampler.sample_many(1000))
+
+
+def test_probabilities_sum_to_one():
+    sampler = ZipfSampler(100, 1.0, random.Random(2))
+    assert sum(sampler.probability(k) for k in range(100)) == pytest.approx(1.0)
+
+
+def test_probability_monotone_decreasing():
+    sampler = ZipfSampler(20, 0.9, random.Random(3))
+    probs = [sampler.probability(k) for k in range(20)]
+    assert probs == sorted(probs, reverse=True)
+
+
+def test_probability_index_bounds():
+    sampler = ZipfSampler(5, 1.0, random.Random(0))
+    with pytest.raises(IndexError):
+        sampler.probability(5)
+    with pytest.raises(IndexError):
+        sampler.probability(-1)
+
+
+def test_alpha_zero_uniform():
+    sampler = ZipfSampler(4, 0.0, random.Random(0))
+    for k in range(4):
+        assert sampler.probability(k) == pytest.approx(0.25)
+
+
+def test_empirical_frequencies_track_probabilities():
+    sampler = ZipfSampler(10, 1.0, random.Random(42))
+    counts = [0] * 10
+    n = 50_000
+    for s in sampler.sample_many(n):
+        counts[s] += 1
+    for k in range(10):
+        assert counts[k] / n == pytest.approx(sampler.probability(k), rel=0.15)
+
+
+def test_expected_counts_scale():
+    sampler = ZipfSampler(3, 1.0, random.Random(0))
+    expected = sampler.expected_counts(600)
+    assert sum(expected) == pytest.approx(600)
+    assert expected[0] > expected[1] > expected[2]
+
+
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.floats(min_value=0.0, max_value=2.5),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_sampler_deterministic_per_seed(n, alpha, seed):
+    a = ZipfSampler(n, alpha, random.Random(seed)).sample_many(20)
+    b = ZipfSampler(n, alpha, random.Random(seed)).sample_many(20)
+    assert a == b
+    assert all(0 <= s < n for s in a)
