@@ -31,7 +31,7 @@ from repro import (
     run_experiment,
     two_tier_lease,
 )
-from repro.replay import audit_result
+from repro.replay import ParallelSweepRunner, audit_result, sweep
 from repro.traces import PROFILES
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -118,7 +118,57 @@ def harness(scale, trace_cache, result_cache):
             result_cache[key] = result
         return result
 
+    def prewarm(workers: int) -> None:
+        """Fill the result cache by running the paper grid in parallel.
+
+        The 18 points (six trace/lifetime rows x three protocols) are
+        exactly the runs Tables 3-5 consume; warming them through
+        ``ParallelSweepRunner`` gives the table benchmarks a wall-clock
+        speedup without changing a single metric (each point is the same
+        hermetic ``run_experiment`` the serial path uses).  Checkpoints
+        land under ``benchmarks/results/checkpoints`` so an interrupted
+        benchmark session resumes instead of recomputing.
+        """
+        grid = [
+            (trace_name, days, proto)
+            for trace_name, days in PAPER_EXPERIMENTS
+            for proto in ("polling", "invalidation", "ttl")
+        ]
+        base = ExperimentConfig(
+            trace=get_trace(grid[0][0]),
+            protocol=PROTOCOLS[grid[0][2]](),
+            mean_lifetime=grid[0][1] * DAYS,
+        )
+        points = [
+            (
+                f"{trace_name}-{days:g}d-{proto}",
+                {
+                    "trace": get_trace(trace_name),
+                    "mean_lifetime": days * DAYS,
+                    "protocol": PROTOCOLS[proto](),
+                },
+            )
+            for trace_name, days, proto in grid
+        ]
+        checkpoint_dir = RESULTS_DIR / "checkpoints" / f"scale-{scale:g}"
+        runner = ParallelSweepRunner(
+            workers=workers,
+            checkpoint_dir=str(checkpoint_dir),
+            resume=True,
+            progress=print,
+        )
+        for (trace_name, days, proto), point in zip(
+            grid, sweep(base, points, runner=runner)
+        ):
+            audit_result(point.result)
+            result_cache[(trace_name, days, proto, ())] = point.result
+
+    workers = int(os.environ.get("REPRO_BENCH_PARALLEL", "0"))
+    if workers:
+        prewarm(workers)
+
     run.get_trace = get_trace
+    run.prewarm = prewarm
     return run
 
 

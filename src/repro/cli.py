@@ -5,6 +5,10 @@ Commands:
 * ``replay``    — run one trace x protocol experiment and print the
   Table 3/4-style block (plus Table 5 costs for invalidation runs).
 * ``compare``   — run all three paper protocols on one trace.
+* ``sweep``     — run a protocol x lifetime grid on one trace, optionally
+  in parallel (``--parallel N``) with checkpointed resume (``--resume``).
+* ``table``     — reproduce Table 3 or Table 4 (all traces, all three
+  protocols); the same ``--parallel``/``--resume`` flags apply.
 * ``summarize`` — print the Table 2 row for a synthetic or CLF trace.
 * ``generate``  — write a calibrated synthetic trace as a CLF log.
 * ``analyze``   — evaluate the Table 1 model on an r/m stream.
@@ -13,6 +17,9 @@ Examples::
 
     python -m repro compare --trace EPA --lifetime-days 50 --scale 0.1
     python -m repro replay --trace SASK --protocol two-tier --scale 0.1
+    python -m repro sweep --trace SDSC --protocols polling,invalidation \\
+        --lifetimes 2,25 --parallel 4 --checkpoint-dir out/ckpt --resume
+    python -m repro table --table 3 --scale 0.1 --parallel 4
     python -m repro summarize --trace NASA
     python -m repro summarize --clf /path/to/access_log
     python -m repro generate --trace SDSC --scale 0.2 --out sdsc.log
@@ -41,9 +48,14 @@ from .core import (
 from .core.analysis import timed_stream_from_ops
 from .replay import (
     ExperimentConfig,
+    ParallelSweepRunner,
+    SweepPointFailed,
     format_comparison_table,
     format_invalidation_costs,
+    result_to_dict,
     run_experiment,
+    sweep,
+    sweep_table,
 )
 from .sim import RngRegistry
 from .traces import generate_trace, read_clf, summarize, write_clf
@@ -117,6 +129,38 @@ def build_parser() -> argparse.ArgumentParser:
             help="insert N parent caches (0 = flat, the paper's setup)",
         )
 
+    def add_parallel_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--parallel",
+            type=int,
+            default=0,
+            metavar="N",
+            help="run sweep points across N worker processes (0 = serial)",
+        )
+        p.add_argument(
+            "--checkpoint-dir",
+            metavar="DIR",
+            help="write a per-point checkpoint file here as points finish",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="skip points already checkpointed (needs --checkpoint-dir)",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-point wall-clock budget; overrunning workers retry",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=1,
+            help="extra attempts after a worker crash or timeout (default 1)",
+        )
+
     replay = sub.add_parser("replay", help="run one protocol on one trace")
     add_replay_args(replay)
     replay.add_argument(
@@ -136,6 +180,63 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--json", action="store_true", help="emit JSON instead of a table"
     )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a protocol x lifetime grid on one trace"
+    )
+    add_replay_args(sweep_p)
+    sweep_p.add_argument(
+        "--protocols",
+        default="polling,invalidation,ttl",
+        help="comma-separated protocol names (default: the paper's three)",
+    )
+    sweep_p.add_argument(
+        "--lifetimes",
+        default=None,
+        metavar="DAYS,...",
+        help="comma-separated mean lifetimes in days "
+        "(default: just --lifetime-days)",
+    )
+    sweep_p.add_argument(
+        "--metrics",
+        default="total_messages,message_bytes,stale_serves,avg_latency",
+        help="comma-separated ExperimentResult fields for the output table",
+    )
+    sweep_p.add_argument(
+        "--derive-seeds",
+        action="store_true",
+        help="give each point its own label-derived seed "
+        "(default: all points share the base seed)",
+    )
+    sweep_p.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    add_parallel_args(sweep_p)
+
+    table = sub.add_parser(
+        "table", help="reproduce Table 3 or 4 (all traces x three protocols)"
+    )
+    table.add_argument(
+        "--table",
+        type=int,
+        default=3,
+        choices=(3, 4),
+        help="which paper table to reproduce (default 3)",
+    )
+    table.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="workload scale factor in (0, 1] (default 0.1)",
+    )
+    table.add_argument("--seed", type=int, default=42, help="master seed")
+    table.add_argument(
+        "--cache-mb",
+        type=int,
+        default=64,
+        help="per-proxy cache capacity in MB (default 64)",
+    )
+    add_parallel_args(table)
 
     summ = sub.add_parser("summarize", help="print a Table 2-style summary")
     add_trace_args(summ)
@@ -212,6 +313,146 @@ def _cmd_compare(args, out) -> int:
     return 0
 
 
+def _make_runner(args):
+    """Build a ParallelSweepRunner when any parallel flag is set.
+
+    Returns ``None`` for a plain serial sweep so ``sweep()`` keeps its
+    default runner (and zero multiprocessing overhead).  Progress lines
+    go to stderr so ``--json`` output stays machine-readable.
+    """
+    wanted = (
+        args.parallel
+        or args.resume
+        or args.checkpoint_dir is not None
+        or args.timeout is not None
+    )
+    if not wanted:
+        return None
+    return ParallelSweepRunner(
+        workers=args.parallel or None,
+        timeout=args.timeout,
+        retries=args.retries,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+
+
+def _run_points(base, points, args, derive_seeds=False):
+    runner = _make_runner(args)
+    if runner is None:
+        return sweep(base, points, derive_seeds=derive_seeds)
+    return sweep(base, points, runner=runner, derive_seeds=derive_seeds)
+
+
+def _cmd_sweep(args, out) -> int:
+    import json
+
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    unknown = [p for p in protocols if p not in PROTOCOL_FACTORIES]
+    if not protocols or unknown:
+        print(
+            f"error: unknown protocol(s) {', '.join(unknown) or '<none>'}; "
+            f"choose from {', '.join(sorted(PROTOCOL_FACTORIES))}",
+            file=out,
+        )
+        return 2
+    lifetimes = (
+        [float(d) for d in args.lifetimes.split(",") if d.strip()]
+        if args.lifetimes
+        else [args.lifetime_days]
+    )
+    base = _make_config(args, PROTOCOL_FACTORIES[protocols[0]]())
+    points = []
+    for days in lifetimes:
+        for name in protocols:
+            label = name if len(lifetimes) == 1 else f"{name}/{days:g}d"
+            points.append(
+                (
+                    label,
+                    {
+                        "protocol": PROTOCOL_FACTORIES[name](),
+                        "mean_lifetime": days * DAYS,
+                    },
+                )
+            )
+    try:
+        results = _run_points(base, points, args, derive_seeds=args.derive_seeds)
+    except (ValueError, SweepPointFailed) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if args.json:
+        payload = [
+            {"label": r.label, **result_to_dict(r.result)} for r in results
+        ]
+        print(json.dumps(payload, indent=2), file=out)
+        return 0
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    print(sweep_table(results, metrics), file=out)
+    return 0
+
+
+#: (trace, mean lifetime in days) rows of the paper's Tables 3 and 4.
+TABLE_SPECS = {
+    3: [("EPA", 50.0), ("SASK", 14.0), ("ClarkNet", 50.0)],
+    4: [("NASA", 7.0), ("SDSC", 25.0), ("SDSC", 2.5)],
+}
+
+#: Column order within each table block.
+TABLE_PROTOCOLS = ("polling", "invalidation", "ttl")
+
+
+def _cmd_table(args, out) -> int:
+    spec = TABLE_SPECS[args.table]
+    traces = {}
+    for trace_name, _days in spec:
+        if trace_name not in traces:
+            profile = lookup_profile(trace_name)
+            if args.scale != 1.0:
+                profile = profile.scaled(args.scale)
+            traces[trace_name] = generate_trace(
+                profile, RngRegistry(seed=args.seed)
+            )
+    first_trace, first_days = spec[0]
+    base = ExperimentConfig(
+        trace=traces[first_trace],
+        protocol=PROTOCOL_FACTORIES[TABLE_PROTOCOLS[0]](),
+        mean_lifetime=first_days * DAYS,
+        proxy_cache_bytes=args.cache_mb * 1024 * 1024,
+        seed=args.seed,
+    )
+    points = [
+        (
+            f"{trace_name}-{days:g}d/{proto}",
+            {
+                "trace": traces[trace_name],
+                "mean_lifetime": days * DAYS,
+                "protocol": PROTOCOL_FACTORIES[proto](),
+            },
+        )
+        for trace_name, days in spec
+        for proto in TABLE_PROTOCOLS
+    ]
+    try:
+        results = _run_points(base, points, args)
+    except (ValueError, SweepPointFailed) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    blocks = []
+    for row, (trace_name, days) in enumerate(spec):
+        group = results[row * len(TABLE_PROTOCOLS):(row + 1) * len(TABLE_PROTOCOLS)]
+        title = (
+            f"Trace {trace_name}, lifetime {days:g} days, "
+            f"{group[0].result.total_requests} requests, "
+            f"{group[0].result.files_modified} files modified"
+        )
+        blocks.append(
+            format_comparison_table([g.result for g in group], title=title)
+        )
+    print("\n\n".join(blocks), file=out)
+    return 0
+
+
 def _cmd_summarize(args, out) -> int:
     if args.clf:
         with open(args.clf, "r", errors="replace") as handle:
@@ -258,6 +499,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     handler = {
         "replay": _cmd_replay,
         "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "table": _cmd_table,
         "summarize": _cmd_summarize,
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,

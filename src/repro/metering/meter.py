@@ -23,7 +23,6 @@ The conservation law (checked by tests): for every document,
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict
 
 __all__ = ["HitMeter", "UsageLedger"]
 

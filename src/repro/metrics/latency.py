@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional
+from typing import List
 
 __all__ = ["LatencyStats"]
 
@@ -67,6 +67,34 @@ class LatencyStats:
         ordered = sorted(self._reservoir)
         index = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
         return ordered[index]
+
+    def state_dict(self) -> dict:
+        """JSON-compatible full state (for checkpoint round-trips)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "reservoir": list(self._reservoir),
+            "reservoir_size": self._reservoir_size,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatencyStats":
+        """Rebuild stats saved with :meth:`state_dict`.
+
+        Mean/min/max/percentiles are restored exactly; only the reservoir
+        RNG restarts, which affects nothing unless more samples are
+        recorded afterwards.
+        """
+        stats = cls(reservoir_size=state.get("reservoir_size", 4096))
+        stats.count = int(state["count"])
+        stats.total = float(state["total"])
+        if stats.count:
+            stats.minimum = float(state["min"])
+            stats.maximum = float(state["max"])
+        stats._reservoir = [float(v) for v in state.get("reservoir", [])]
+        return stats
 
     def merge(self, other: "LatencyStats") -> None:
         """Fold another stats object into this one."""

@@ -109,10 +109,7 @@ class Cache:
         self._used += entry.size
         self._by_url.setdefault(entry.url, set()).add(entry.key)
         self.insertions += 1
-        if self.expired_first:
-            heapq.heappush(
-                self._expiry_heap, (entry.expires, next(self._heap_seq), entry.key)
-            )
+        self._push_expiry(entry)
         return True
 
     def remove(self, key: str) -> int:
@@ -147,6 +144,40 @@ class Cache:
             keys.discard(entry.key)
             if not keys:
                 del self._by_url[entry.url]
+
+    def note_expiry_update(self, key: str) -> bool:
+        """Re-register ``key`` after its entry's ``expires`` changed in place.
+
+        The expired-first heap indexes entries by the expiry they had
+        when inserted.  TTL policies extend ``entry.expires`` in place on
+        a successful revalidation, which silently removed the entry from
+        expired-first consideration (its only heap record no longer
+        matched, so once the *new* deadline passed the entry could never
+        be picked as an expired victim and a fresh LRU entry was evicted
+        instead).  Callers that mutate ``expires`` on a cached entry must
+        call this; returns True when a live entry was re-registered.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        self._push_expiry(entry)
+        return True
+
+    def _push_expiry(self, entry: CacheEntry) -> None:
+        """Record the entry's current expiry in the lazy victim heap."""
+        if not self.expired_first:
+            return
+        heapq.heappush(
+            self._expiry_heap, (entry.expires, next(self._heap_seq), entry.key)
+        )
+        # Updates and removals leave stale tuples behind; rebuild once
+        # they dominate so the heap stays O(live entries).
+        if len(self._expiry_heap) > 4 * len(self._entries) + 64:
+            self._expiry_heap = [
+                (e.expires, next(self._heap_seq), key)
+                for key, e in self._entries.items()
+            ]
+            heapq.heapify(self._expiry_heap)
 
     def mark_all_questionable(self) -> int:
         """Flag every entry as needing revalidation; returns the count.

@@ -295,6 +295,9 @@ class ProxyCache:
             if response.lease_expires is not None:
                 entry.lease_expires = response.lease_expires
             self.policy.on_validated(entry, response, self.sim.now)
+            # TTL policies extend entry.expires in place: tell the cache
+            # so expired-first replacement keeps seeing this entry.
+            self.cache.note_expiry_update(entry.key)
             yield from self._serve_cached(entry, outcome)
         else:
             # New version: replace the cached copy and serve the new body.

@@ -22,7 +22,16 @@ from typing import Callable, List
 
 from ..sim import AllOf, Simulator
 
-__all__ = ["TimeCoordinator"]
+__all__ = ["TimeCoordinator", "CoordinatorError"]
+
+
+class CoordinatorError(RuntimeError):
+    """A participant failed mid-interval; carries the interval bounds."""
+
+    def __init__(self, message: str, trace_start: float, trace_end: float) -> None:
+        super().__init__(message)
+        self.trace_start = trace_start
+        self.trace_end = trace_end
 
 #: A participant factory: called with (trace_start, trace_end) for each
 #: interval and returning a generator that performs that interval's work.
@@ -56,11 +65,31 @@ class TimeCoordinator:
         while self.trace_time < duration:
             start = self.trace_time
             end = min(start + self.interval, duration)
+            if not end > start:
+                # Float underflow: start + interval == start.  Advancing
+                # would loop forever on zero-width intervals.
+                raise CoordinatorError(
+                    f"interval {self.interval!r} is too small to advance "
+                    f"trace time from {start!r}", start, end,
+                )
             processes = [
                 self.sim.process(participant(start, end))
                 for participant in self._participants
             ]
-            # Barrier: wait for every participant's reply.
-            yield AllOf(self.sim, processes)
+            try:
+                # Barrier: wait for every participant's reply.
+                yield AllOf(self.sim, processes)
+            except BaseException as exc:
+                # A participant raised mid-interval.  The interval did
+                # not complete: trace_time/intervals_completed stay at
+                # the last finished interval.  Defuse the surviving
+                # participants so their later completion (or failure)
+                # cannot crash the simulator with nobody waiting.
+                for process in processes:
+                    process.defuse()
+                raise CoordinatorError(
+                    f"participant failed in trace interval "
+                    f"[{start:g}, {end:g}): {exc!r}", start, end,
+                ) from exc
             self.trace_time = end
             self.intervals_completed += 1

@@ -4,16 +4,35 @@
 result into plain JSON-compatible dictionaries (and back into a
 read-only summary form) so sweeps can be archived, diffed and plotted
 outside Python.
+
+It also provides the per-point *checkpoint* files behind resumable
+sweeps (:class:`repro.replay.parallel.ParallelSweepRunner`): a
+checkpoint is the flattened result plus enough internal counter state
+(latency reservoirs) to rebuild a metric-for-metric identical
+:class:`ExperimentResult` in a later process.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, List, Sequence
+import os
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
 
+from ..metrics import LatencyStats, ReplayCounters
 from .experiment import ExperimentResult
 
-__all__ = ["result_to_dict", "results_to_json", "write_results_json", "read_results_json"]
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "results_to_json",
+    "write_results_json",
+    "read_results_json",
+    "write_checkpoint",
+    "read_checkpoint",
+]
+
+#: Checkpoint file format version (bump on incompatible layout changes).
+CHECKPOINT_VERSION = 1
 
 #: Scalar fields copied verbatim from the result.
 _SCALAR_FIELDS = [
@@ -102,3 +121,113 @@ def read_results_json(source: IO[str]) -> List[Dict[str, Any]]:
     if not isinstance(data, list):
         raise ValueError("expected a JSON list of results")
     return data
+
+
+#: Counter attributes restorable verbatim (``hit_ratio`` is derived).
+_COUNTER_FIELDS = [
+    "requests",
+    "hits",
+    "misses",
+    "transfers",
+    "validations",
+    "served_from_cache",
+    "stale_serves",
+    "violations",
+    "failed",
+    "body_bytes_from_cache",
+    "body_bytes_transferred",
+]
+
+
+def _counters_from_dict(
+    data: Dict[str, Any], restore: Optional[Dict[str, Any]]
+) -> ReplayCounters:
+    counters = ReplayCounters()
+    for name in _COUNTER_FIELDS:
+        setattr(counters, name, data[name])
+    if restore is not None:
+        counters.latency = LatencyStats.from_state(restore["latency"])
+        counters.staleness = LatencyStats.from_state(restore["staleness"])
+    return counters
+
+
+def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` flattened by
+    :func:`result_to_dict`.
+
+    When ``data`` carries the private ``_restore`` block written by
+    :func:`write_checkpoint`, the nested counters (including latency
+    reservoirs, hence percentiles) are restored exactly; without it the
+    latency objects are rebuilt from the summary statistics, so mean,
+    min, max and count survive but percentiles do not.
+    """
+    scalars = {name: data[name] for name in _SCALAR_FIELDS}
+    restore = data.get("_restore")
+    if restore is None and "latency" in data:
+        latency = data["latency"]
+        staleness = data.get("staleness", {"mean": 0.0, "max": 0.0, "count": 0})
+        restore = {
+            "latency": {
+                "count": latency["count"],
+                "total": latency["mean"] * latency["count"],
+                "min": latency["min"] if latency["count"] else None,
+                "max": latency["max"] if latency["count"] else None,
+                "reservoir": [],
+            },
+            "staleness": {
+                "count": staleness["count"],
+                "total": staleness["mean"] * staleness["count"],
+                "min": 0.0 if staleness["count"] else None,
+                "max": staleness["max"] if staleness["count"] else None,
+                "reservoir": [],
+            },
+        }
+    counters = _counters_from_dict(data["counters"], restore)
+    return ExperimentResult(counters=counters, **scalars)
+
+
+def write_checkpoint(
+    result: ExperimentResult, path: str, label: Optional[str] = None
+) -> str:
+    """Atomically persist one sweep point's result as a checkpoint file.
+
+    Written via a temporary file and ``os.replace`` so a reader (or a
+    resumed sweep) never observes a torn checkpoint, even if the writing
+    worker is killed mid-write.  Returns ``path``.
+    """
+    counters = result.counters
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "label": label,
+        "result": result_to_dict(result),
+        "restore": {
+            "latency": counters.latency.state_dict(),
+            "staleness": counters.staleness.state_dict(),
+        },
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_checkpoint(path: str) -> Tuple[Optional[str], ExperimentResult]:
+    """Load a checkpoint written by :func:`write_checkpoint`.
+
+    Returns ``(label, result)``.  Raises ``ValueError`` on files that are
+    not checkpoints (or from an incompatible version).
+    """
+    with open(path, "r") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "result" not in payload:
+        raise ValueError(f"{path}: not a sweep checkpoint")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"{path}: checkpoint version {version!r} != {CHECKPOINT_VERSION}"
+        )
+    data = dict(payload["result"])
+    data["_restore"] = payload.get("restore")
+    return payload.get("label"), result_from_dict(data)

@@ -22,14 +22,82 @@ Example::
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from .experiment import ExperimentConfig, ExperimentResult, run_experiment
 
-__all__ = ["SweepResult", "sweep", "sweep_table"]
+__all__ = [
+    "SweepPoint",
+    "SweepPointError",
+    "SweepResult",
+    "derive_point_seed",
+    "point_config",
+    "sweep",
+    "sweep_table",
+]
 
 #: One sweep point: a display label plus config-field overrides.
 SweepPoint = Tuple[str, Dict[str, object]]
+
+
+class SweepPointError(ValueError):
+    """A sweep point's overrides do not form a valid configuration.
+
+    Carries the point's label so a bad cell in a big grid is locatable
+    without decoding a bare ``dataclasses.replace`` traceback.
+    """
+
+    def __init__(self, label: str, message: str) -> None:
+        super().__init__(f"sweep point {label!r}: {message}")
+        self.label = label
+
+
+def derive_point_seed(base_seed: int, label: str) -> int:
+    """Deterministic per-point seed from the base seed and point label.
+
+    Stable across processes and Python versions (unlike ``hash()``), so a
+    sweep executed serially, in parallel, or resumed from checkpoints
+    sees bit-identical RNG streams for every point.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def point_config(
+    base: ExperimentConfig,
+    label: str,
+    overrides: Dict[str, object],
+    derive_seeds: bool = False,
+) -> ExperimentConfig:
+    """Derive one point's config from ``base``; the single construction
+    path shared by the serial and parallel sweep executors.
+
+    Args:
+        derive_seeds: give the point its own seed (from
+            :func:`derive_point_seed`) unless the overrides set one
+            explicitly.  Off by default: protocol-comparison sweeps rely
+            on every point seeing the identical seeded workload.
+
+    Raises:
+        SweepPointError: on an unknown config field or a field value the
+            config rejects, naming the offending point.
+    """
+    fields = dict(overrides)
+    if derive_seeds and "seed" not in fields:
+        fields["seed"] = derive_point_seed(base.seed, label)
+    valid = {f.name for f in dataclasses.fields(base)}
+    unknown = sorted(set(fields) - valid)
+    if unknown:
+        raise SweepPointError(
+            label,
+            f"unknown config field(s) {', '.join(map(repr, unknown))}; "
+            f"valid fields are {', '.join(sorted(valid))}",
+        )
+    try:
+        return dataclasses.replace(base, **fields)
+    except (TypeError, ValueError) as exc:
+        raise SweepPointError(label, str(exc)) from exc
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,6 +113,7 @@ def sweep(
     base: ExperimentConfig,
     points: Sequence[SweepPoint],
     runner: Callable[[ExperimentConfig], ExperimentResult] = run_experiment,
+    derive_seeds: bool = False,
 ) -> List[SweepResult]:
     """Run the experiment grid derived from ``base``.
 
@@ -53,11 +122,18 @@ def sweep(
         points: ``(label, {field: value, ...})`` overrides.  Overriding
             ``protocol`` per point is the common case for protocol
             comparisons.
-        runner: injection point for caching/testing.
+        runner: either a per-config callable (the serial path; injection
+            point for caching/testing) or a sweep-level executor exposing
+            ``run_sweep(base, points, derive_seeds=...)`` such as
+            :class:`repro.replay.parallel.ParallelSweepRunner`.
+        derive_seeds: see :func:`point_config`.
     """
+    run_sweep = getattr(runner, "run_sweep", None)
+    if run_sweep is not None:
+        return run_sweep(base, points, derive_seeds=derive_seeds)
     results = []
     for label, overrides in points:
-        config = dataclasses.replace(base, **overrides)
+        config = point_config(base, label, overrides, derive_seeds=derive_seeds)
         results.append(
             SweepResult(label=label, config=config, result=runner(config))
         )

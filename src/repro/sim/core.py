@@ -134,6 +134,18 @@ class Event:
         self._value = event._value
         self.sim._enqueue(self, NORMAL)
 
+    def defuse(self) -> None:
+        """Mark the event as handled so its failure cannot crash the loop.
+
+        A failed event whose exception no waiter consumes is re-raised
+        out of :meth:`Simulator.step`.  Supervisors that learn of a
+        failure through another channel (e.g. a condition that already
+        failed) call this on the remaining events they were watching so
+        late failures do not take down the whole simulation.  Safe to
+        call before or after the event triggers.
+        """
+        self._defused = True
+
     def cancel(self) -> None:
         """Make a scheduled-but-unprocessed event inert.
 

@@ -184,6 +184,11 @@ class _Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # The condition has already resolved (e.g. another child
+            # failed it): absorb this child's failure so it does not
+            # escape the simulator loop with nobody left to handle it.
+            if not event._ok:
+                event._defused = True
             return
         self._count += 1
         if not event._ok:

@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, List, Optional
 
-from .core import Event, SimulationError, Simulator
+from .core import Event, Simulator
 
 __all__ = ["Resource", "Request", "Store"]
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import re
 from datetime import datetime, timedelta, timezone
-from typing import Dict, Iterable, List, Optional, TextIO, Union
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
 
 from .record import Trace, TraceRecord
 
@@ -25,7 +25,8 @@ __all__ = ["read_clf", "write_clf", "parse_clf_line", "format_clf_line", "ClfEnt
 
 _CLF_RE = re.compile(
     r'^(?P<host>\S+) \S+ \S+ \[(?P<time>[^\]]+)\] '
-    r'"(?P<request>[^"]*)" (?P<status>\d{3}) (?P<size>\d+|-)\s*$'
+    # Trailing fields (combined-format referrer/user-agent) are ignored.
+    r'"(?P<request>[^"]*)" (?P<status>\d{3}) (?P<size>\d+|-)(?:\s.*)?$'
 )
 
 _MONTHS = {
@@ -56,44 +57,97 @@ class ClfEntry:
         self.size = size
 
 
+#: Numeric timezone offsets: sign, two-digit hours, two-digit minutes.
+_OFFSET_RE = re.compile(r"^(?P<sign>[+-])(?P<hours>\d{2})(?P<minutes>\d{2})$")
+
+#: Offset spellings some archive logs use instead of a numeric offset.
+_UTC_NAMES = frozenset({"GMT", "UTC", "UT", "Z"})
+
+
+def _parse_clf_offset(offset: str) -> timedelta:
+    """Parse a CLF timezone offset (``-0400``, ``+0530``, ``GMT``)."""
+    if offset.upper() in _UTC_NAMES:
+        return timedelta(0)
+    match = _OFFSET_RE.match(offset)
+    if match is None:
+        raise ValueError(f"bad timezone offset {offset!r}")
+    sign = -1 if match.group("sign") == "-" else 1
+    minutes = int(match.group("minutes"))
+    if minutes >= 60:
+        raise ValueError(f"bad timezone offset {offset!r}")
+    return sign * timedelta(hours=int(match.group("hours")), minutes=minutes)
+
+
 def _parse_clf_time(text: str) -> float:
-    """Parse ``01/Jul/1995:00:00:01 -0400`` to a POSIX timestamp."""
+    """Parse ``01/Jul/1995:00:00:01 -0400`` to a POSIX timestamp.
+
+    Raises ``ValueError`` on anything it cannot interpret; month names
+    are matched case-insensitively (real archive logs contain ``JUL``
+    and ``jul`` spellings) and full month names are accepted by their
+    first three letters.
+    """
     try:
         stamp, offset = text.rsplit(" ", 1)
         day, month, rest = stamp.split("/", 2)
         year, hour, minute, second = rest.split(":")
-        sign = -1 if offset.startswith("-") else 1
-        off = timedelta(
-            hours=int(offset[1:3]), minutes=int(offset[3:5])
-        ) * sign
+        month_num = _MONTHS.get(month[:3].capitalize())
+        if month_num is None:
+            raise ValueError(f"unknown month {month!r}")
         dt = datetime(
             int(year),
-            _MONTHS[month],
+            month_num,
             int(day),
             int(hour),
             int(minute),
             int(second),
-            tzinfo=timezone(off),
+            tzinfo=timezone(_parse_clf_offset(offset)),
         )
-    except (ValueError, KeyError) as exc:
+    except ValueError as exc:
         raise ValueError(f"bad CLF timestamp {text!r}") from exc
     return dt.timestamp()
 
 
+def _parse_clf_request(request: str) -> Optional[Tuple[str, str]]:
+    """Split the quoted request field into (method, url).
+
+    Tolerates real-log oddities: a missing HTTP-version token
+    (HTTP/0.9-style ``GET /path``) and unencoded spaces inside the URL
+    (everything between the method and a trailing ``HTTP/x`` token is
+    the URL).  Returns ``None`` when no method + URL can be extracted.
+    """
+    tokens = request.split()
+    if len(tokens) < 2:
+        return None
+    method, rest = tokens[0], tokens[1:]
+    if len(rest) > 1 and rest[-1].upper().startswith("HTTP/"):
+        rest = rest[:-1]
+    return method.upper(), " ".join(rest)
+
+
 def parse_clf_line(line: str) -> Optional[ClfEntry]:
-    """Parse one CLF line; returns ``None`` for malformed lines."""
+    """Parse one CLF line; returns ``None`` for malformed lines.
+
+    Malformed means *anything* this function cannot interpret — bad
+    timestamps and timezone offsets included.  A multi-million-line
+    Internet Traffic Archive log always contains a few mangled lines;
+    they must be skippable, never fatal.
+    """
     match = _CLF_RE.match(line)
     if match is None:
         return None
-    request = match.group("request").split()
-    if len(request) < 2:
+    parsed = _parse_clf_request(match.group("request"))
+    if parsed is None:
         return None
-    method, url = request[0], request[1]
+    method, url = parsed
+    try:
+        timestamp = _parse_clf_time(match.group("time"))
+    except ValueError:
+        return None
     size_text = match.group("size")
     return ClfEntry(
         host=match.group("host"),
-        timestamp=_parse_clf_time(match.group("time")),
-        method=method.upper(),
+        timestamp=timestamp,
+        method=method,
         url=url,
         status=int(match.group("status")),
         size=None if size_text == "-" else int(size_text),

@@ -7,7 +7,7 @@ needed to populate the pseudo-server's file store.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Sequence
 
 __all__ = ["TraceRecord", "Trace"]

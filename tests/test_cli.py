@@ -113,6 +113,64 @@ class TestReplay:
         assert "Total Messages" in text
 
 
+class TestSweep:
+    def test_serial_sweep_table(self):
+        code, text = run_cli(
+            "sweep", "--trace", "SDSC", "--scale", "0.02",
+            "--protocols", "polling,invalidation", "--lifetime-days", "2",
+        )
+        assert code == 0
+        assert "polling" in text and "invalidation" in text
+        assert "total_messages" in text
+
+    def test_parallel_matches_serial(self, tmp_path):
+        argv = (
+            "sweep", "--trace", "SDSC", "--scale", "0.02",
+            "--protocols", "polling,invalidation", "--lifetimes", "2,5",
+            "--json",
+        )
+        code, serial = run_cli(*argv)
+        assert code == 0
+        code, parallel = run_cli(
+            *argv, "--parallel", "2",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        )
+        assert code == 0
+        import json
+
+        assert json.loads(parallel) == json.loads(serial)
+        # Resume: same output again, straight from the checkpoints.
+        code, resumed = run_cli(
+            *argv, "--parallel", "2", "--resume",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        )
+        assert code == 0
+        assert json.loads(resumed) == json.loads(serial)
+
+    def test_unknown_protocol_fails_cleanly(self):
+        code, text = run_cli("sweep", "--protocols", "polling,bogus")
+        assert code == 2
+        assert "bogus" in text
+
+    def test_resume_without_checkpoint_dir_fails_cleanly(self):
+        code, text = run_cli(
+            "sweep", "--trace", "SDSC", "--scale", "0.02", "--resume"
+        )
+        assert code == 2
+        assert "checkpoint" in text
+
+
+class TestTable:
+    def test_table4_lists_all_trace_rows(self):
+        code, text = run_cli("table", "--table", "4", "--scale", "0.02")
+        assert code == 0
+        assert "Trace NASA, lifetime 7 days" in text
+        assert "Trace SDSC, lifetime 25 days" in text
+        assert "Trace SDSC, lifetime 2.5 days" in text
+        for proto in ("poll-every-time", "invalidation", "adaptive-ttl"):
+            assert proto in text
+
+
 class TestCompare:
     def test_compare_three_protocols(self):
         code, text = run_cli(

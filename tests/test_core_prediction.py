@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core import pair_streams, predict_message_counts
 from repro.traces import Trace, TraceRecord

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import invalidation
 from repro.failures import FailureInjector
-from repro.http import Invalidate
 from repro.net import FixedLatency, Network
 from repro.proxy import Cache, ProxyCache
 from repro.server import FileStore, ServerSite

@@ -1,6 +1,5 @@
 """Tests for hierarchical caching with invalidation (Worrell config)."""
 
-import pytest
 
 from repro.core import invalidation
 from repro.hierarchy import ParentProxy

@@ -1,6 +1,5 @@
 """Tests for the piggyback-server-invalidation (PSI) extension."""
 
-import pytest
 
 from repro.core import adaptive_ttl, piggyback_invalidation
 from repro.net import FixedLatency, Network

@@ -166,3 +166,74 @@ class TestExpiredFirstReplacement:
         cache.put(entry(url="/c", size=100, expires=60.0), now=10.0)
         assert cache.expired_evictions == 0
         assert len(cache) == 2
+
+    def test_inplace_ttl_refresh_keeps_entry_visible_to_expired_first(self):
+        """Regression: a TTL policy extends entry.expires *in place* on
+        revalidation; without note_expiry_update the entry's only heap
+        record went stale and the entry could never again be picked as
+        an expired victim — a fresh LRU entry was evicted instead."""
+        cache = Cache(capacity_bytes=200, expired_first=True)
+        refreshed = entry(url="/a", size=100, expires=100.0)
+        fresh = entry(url="/b", size=100, expires=1000.0)
+        cache.put(refreshed, now=0.0)
+        cache.put(fresh, now=1.0)
+        # Revalidation at t=150 extends /a's deadline in place to 200.
+        refreshed.expires = 200.0
+        assert cache.note_expiry_update(refreshed.key)
+        # Make /b the LRU victim so plain LRU would evict the *fresh* copy.
+        cache.get(refreshed.key, now=250.0)
+        # t=300: /a is expired again (200 < 300); expired-first must pick
+        # it over the fresh-but-LRU /b.
+        cache.put(entry(url="/c", size=100, expires=1000.0), now=300.0)
+        assert refreshed.key not in cache
+        assert fresh.key in cache
+        assert cache.expired_evictions == 1
+
+    def test_interleaved_insert_update_remove_evict_accounting(self):
+        """Interleave every mutation; stale heap tuples must neither
+        select phantom victims nor inflate expired_evictions."""
+        cache = Cache(capacity_bytes=300, expired_first=True)
+        a = entry(url="/a", size=100, expires=10.0)
+        cache.put(a, now=0.0)
+        # Update /a twice with identical expiry (duplicate heap tuples).
+        cache.put(entry(url="/a", size=100, expires=10.0), now=1.0)
+        cache.put(entry(url="/a", size=100, expires=10.0), now=2.0)
+        # Remove it outright (e.g. an INVALIDATE), then re-insert fresh.
+        assert cache.remove(entry_key("/a", "c1")) == 100
+        cache.put(entry(url="/a", size=100, expires=500.0), now=3.0)
+        cache.put(entry(url="/b", size=100, expires=20.0), now=4.0)
+        cache.put(entry(url="/c", size=100, expires=1000.0), now=5.0)
+        # t=50: /b is the only expired entry.  The three stale /a tuples
+        # (expires=10) sort first but must all be skipped — the live /a
+        # now expires at 500.
+        cache.put(entry(url="/d", size=100, expires=1000.0), now=50.0)
+        assert entry_key("/b", "c1") not in cache
+        assert entry_key("/a", "c1") in cache
+        assert cache.expired_evictions == 1
+        assert cache.evictions == 1
+        # Second eviction at t=60: nothing expired; must fall back to
+        # LRU (/a, inserted at t=3) without touching expired_evictions.
+        cache.put(entry(url="/e", size=100, expires=1000.0), now=60.0)
+        assert entry_key("/a", "c1") not in cache
+        assert cache.expired_evictions == 1
+        assert cache.evictions == 2
+        assert cache.used_bytes == 300 and len(cache) == 3
+
+    def test_note_expiry_update_unknown_key(self):
+        cache = Cache(capacity_bytes=200, expired_first=True)
+        assert not cache.note_expiry_update("/nope@c1")
+
+    def test_heap_compaction_bounds_stale_tuples(self):
+        cache = Cache(capacity_bytes=10_000, expired_first=True)
+        e = entry(url="/hot", size=100, expires=10.0)
+        cache.put(e, now=0.0)
+        # Thousands of in-place refreshes must not grow the heap without
+        # bound (each pushes a tuple; compaction rebuilds from live
+        # entries once stale tuples dominate).
+        for i in range(5000):
+            e.expires = 10.0 + i
+            cache.note_expiry_update(e.key)
+        assert len(cache._expiry_heap) <= 4 * len(cache._entries) + 64
+        # The surviving record still reflects the latest expiry.
+        cache.put(entry(url="/filler", size=9900, expires=1e9), now=1.0)
+        assert e.key in cache

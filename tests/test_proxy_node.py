@@ -1,6 +1,5 @@
 """Integration tests for the ProxyCache node with real protocols."""
 
-import pytest
 
 from repro.core import (
     adaptive_ttl,

@@ -1,0 +1,189 @@
+"""Tests for the parallel, resumable sweep runner.
+
+The expensive determinism/speedup assertions live in
+``benchmarks/test_parallel_sweep.py``; here we cover the machinery with
+a small real sweep plus cheap injected experiment functions.
+"""
+
+import os
+
+import pytest
+
+from repro.core import invalidation, poll_every_time
+from repro.replay import (
+    ExperimentConfig,
+    ExperimentResult,
+    ParallelSweepRunner,
+    SweepPointFailed,
+    result_to_dict,
+    sweep,
+)
+from repro.replay.parallel import checkpoint_filename
+from repro.sim import RngRegistry
+from repro.traces import PROFILES, generate_trace
+from repro.workload import DAYS
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    trace = generate_trace(PROFILES["SDSC"].scaled(0.02), RngRegistry(seed=8))
+    return ExperimentConfig(
+        trace=trace, protocol=invalidation(), mean_lifetime=3 * DAYS
+    )
+
+
+POINTS = [
+    ("invalidation", {}),
+    ("polling", {"protocol": poll_every_time()}),
+    ("tiny-cache", {"proxy_cache_bytes": 1 << 20}),
+]
+
+
+def _fake_result(config: ExperimentConfig) -> ExperimentResult:
+    return ExperimentResult(
+        protocol=config.protocol.name,
+        trace_name=config.trace.name,
+        mean_lifetime=config.mean_lifetime,
+        total_requests=int(config.seed),
+        files_modified=0,
+    )
+
+
+def _sleepy_experiment(config):
+    import time
+
+    time.sleep(30.0)
+    return _fake_result(config)
+
+
+def _crash_once_experiment(config):
+    sentinel = os.environ["REPRO_TEST_CRASH_SENTINEL"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("crashed\n")
+        os._exit(3)  # simulated hard worker crash (no exception, no result)
+    return _fake_result(config)
+
+
+def _failing_experiment(config):
+    raise RuntimeError("deterministic experiment bug")
+
+
+def test_parallel_matches_serial_bit_for_bit(base_config):
+    serial = sweep(base_config, POINTS)
+    lines = []
+    runner = ParallelSweepRunner(workers=2, progress=lines.append)
+    parallel = sweep(base_config, POINTS, runner=runner)
+    assert [r.label for r in parallel] == [r.label for r in serial]
+    for s, p in zip(serial, parallel):
+        assert result_to_dict(p.result) == result_to_dict(s.result)
+    # Progress lines name every point with its worker and wall time.
+    assert len(lines) == len(POINTS)
+    assert all("worker=" in line and "wall=" in line for line in lines)
+
+
+def test_checkpoints_written_and_resumed(base_config, tmp_path):
+    ckpt = tmp_path / "ckpt"
+    runner = ParallelSweepRunner(workers=2, checkpoint_dir=str(ckpt))
+    first = sweep(base_config, POINTS, runner=runner)
+    files = sorted(os.listdir(ckpt))
+    assert files == sorted(
+        checkpoint_filename(i, label) for i, (label, _) in enumerate(POINTS)
+    )
+    # Resume: every point comes from its checkpoint; the experiment
+    # function must never run (it would raise).
+    lines = []
+    resumed_runner = ParallelSweepRunner(
+        workers=2,
+        checkpoint_dir=str(ckpt),
+        resume=True,
+        experiment_fn=_failing_experiment,
+        progress=lines.append,
+    )
+    resumed = sweep(base_config, POINTS, runner=resumed_runner)
+    assert [r.label for r in resumed] == [r.label for r in first]
+    for a, b in zip(first, resumed):
+        assert result_to_dict(b.result) == result_to_dict(a.result)
+    assert all("resumed from checkpoint" in line for line in lines)
+
+
+def test_partial_checkpoints_resume_remaining(base_config, tmp_path):
+    ckpt = tmp_path / "ckpt"
+    runner = ParallelSweepRunner(workers=1, checkpoint_dir=str(ckpt))
+    full = sweep(base_config, POINTS, runner=runner)
+    # Drop the middle checkpoint: a resumed sweep reruns only that point.
+    removed = ckpt / checkpoint_filename(1, POINTS[1][0])
+    removed.unlink()
+    resumed = sweep(
+        base_config,
+        POINTS,
+        runner=ParallelSweepRunner(
+            workers=1, checkpoint_dir=str(ckpt), resume=True
+        ),
+    )
+    assert removed.exists()
+    for a, b in zip(full, resumed):
+        assert result_to_dict(b.result) == result_to_dict(a.result)
+
+
+def test_retry_on_worker_crash(base_config, tmp_path):
+    sentinel = tmp_path / "crash-once"
+    os.environ["REPRO_TEST_CRASH_SENTINEL"] = str(sentinel)
+    try:
+        lines = []
+        runner = ParallelSweepRunner(
+            workers=1,
+            retries=1,
+            experiment_fn=_crash_once_experiment,
+            progress=lines.append,
+        )
+        results = sweep(base_config, [("crashy", {"seed": 7})], runner=runner)
+        assert sentinel.exists()
+        assert results[0].result.total_requests == 7
+        assert any("retrying" in line for line in lines)
+    finally:
+        del os.environ["REPRO_TEST_CRASH_SENTINEL"]
+
+
+def test_crash_exhausts_retries(base_config):
+    runner = ParallelSweepRunner(
+        workers=1, retries=1, experiment_fn=_always_crash_experiment
+    )
+    with pytest.raises(SweepPointFailed, match="doomed"):
+        sweep(base_config, [("doomed", {})], runner=runner)
+
+
+def _always_crash_experiment(config):
+    os._exit(3)
+
+
+def test_per_point_timeout(base_config):
+    runner = ParallelSweepRunner(
+        workers=1, timeout=0.3, retries=0, experiment_fn=_sleepy_experiment
+    )
+    with pytest.raises(SweepPointFailed, match="timed out"):
+        sweep(base_config, [("slowpoke", {})], runner=runner)
+
+
+def test_deterministic_exception_fails_fast(base_config):
+    runner = ParallelSweepRunner(
+        workers=1, retries=5, experiment_fn=_failing_experiment
+    )
+    with pytest.raises(SweepPointFailed, match="deterministic experiment bug"):
+        sweep(base_config, [("buggy", {})], runner=runner)
+
+
+def test_runner_validation():
+    with pytest.raises(ValueError):
+        ParallelSweepRunner(workers=0)
+    with pytest.raises(ValueError):
+        ParallelSweepRunner(timeout=0)
+    with pytest.raises(ValueError):
+        ParallelSweepRunner(retries=-1)
+    with pytest.raises(ValueError):
+        ParallelSweepRunner(resume=True)  # resume needs a checkpoint_dir
+
+
+def test_checkpoint_filename_slugs():
+    assert checkpoint_filename(3, "64MB cache / v2") == "point-0003-64MB-cache-v2.json"
+    assert checkpoint_filename(0, "***") == "point-0000-point.json"

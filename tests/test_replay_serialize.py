@@ -1,17 +1,21 @@
-"""Tests for result JSON serialization."""
+"""Tests for result JSON serialization and sweep checkpoints."""
 
 import io
 import json
+import os
 
 import pytest
 
 from repro.core import invalidation
 from repro.replay import (
     ExperimentConfig,
+    read_checkpoint,
     read_results_json,
+    result_from_dict,
     result_to_dict,
     results_to_json,
     run_experiment,
+    write_checkpoint,
     write_results_json,
 )
 from repro.sim import RngRegistry
@@ -65,3 +69,44 @@ def test_json_is_plain_data(result):
     # No objects sneak through: encoding must succeed with the strict
     # default encoder.
     json.dumps(result_to_dict(result))
+
+
+# -- checkpoints ----------------------------------------------------------
+
+
+def test_checkpoint_round_trip_is_exact(result, tmp_path):
+    """A restored result must be metric-for-metric identical, latency
+    percentiles included (the reservoir travels with the checkpoint)."""
+    path = tmp_path / "ckpt.json"
+    write_checkpoint(result, str(path), label="point-a")
+    label, restored = read_checkpoint(str(path))
+    assert label == "point-a"
+    assert result_to_dict(restored) == result_to_dict(result)
+    assert restored.counters.latency.percentile(99) == (
+        result.counters.latency.percentile(99)
+    )
+
+
+def test_checkpoint_atomic_no_tmp_left_behind(result, tmp_path):
+    write_checkpoint(result, str(tmp_path / "c.json"))
+    assert os.listdir(tmp_path) == ["c.json"]
+
+
+def test_checkpoint_rejects_wrong_version(result, tmp_path):
+    path = tmp_path / "c.json"
+    write_checkpoint(result, str(path))
+    data = json.loads(path.read_text())
+    data["version"] = 999
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="version"):
+        read_checkpoint(str(path))
+
+
+def test_result_from_dict_without_restore_block(result):
+    """Plain result_to_dict payloads (no reservoir state) still load,
+    with summary statistics reconstructed from the dict."""
+    rebuilt = result_from_dict(result_to_dict(result))
+    assert rebuilt.total_messages == result.total_messages
+    assert rebuilt.avg_latency == pytest.approx(result.avg_latency)
+    assert rebuilt.max_latency == result.max_latency
+    assert rebuilt.counters.requests == result.counters.requests

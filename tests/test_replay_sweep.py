@@ -5,6 +5,9 @@ import pytest
 from repro.core import invalidation, poll_every_time
 from repro.replay import (
     ExperimentConfig,
+    SweepPointError,
+    derive_point_seed,
+    point_config,
     sweep,
     sweep_table,
 )
@@ -80,3 +83,50 @@ def test_sweep_table_formatting(base_config):
 def test_sweep_table_empty_rejected():
     with pytest.raises(ValueError):
         sweep_table([], ["total_messages"])
+
+
+def test_unknown_override_names_the_point(base_config):
+    """Satellite: a typo'd config field must fail with the sweep point's
+    label, not a bare dataclasses.replace TypeError."""
+    with pytest.raises(SweepPointError) as excinfo:
+        sweep(base_config, [("ok", {}), ("typo", {"proxy_cache_byte": 1})])
+    message = str(excinfo.value)
+    assert "'typo'" in message
+    assert "proxy_cache_byte" in message
+    assert "proxy_cache_bytes" in message  # valid fields are listed
+    assert excinfo.value.label == "typo"
+
+
+def test_unknown_override_fails_before_any_run(base_config):
+    calls = []
+
+    def recording_runner(config):
+        calls.append(config)
+
+    with pytest.raises(SweepPointError):
+        sweep(
+            base_config,
+            [("ok", {}), ("bad", {"nope": 1})],
+            runner=recording_runner,
+        )
+    # The serial loop validates the bad point before running it, so at
+    # most the points preceding it have executed.
+    assert len(calls) <= 1
+
+
+def test_point_config_applies_overrides(base_config):
+    config = point_config(base_config, "p", {"seed": 99})
+    assert config.seed == 99
+    assert config.trace is base_config.trace
+
+
+def test_derive_seeds_stable_and_label_dependent(base_config):
+    a = derive_point_seed(42, "point-a")
+    assert a == derive_point_seed(42, "point-a")  # stable across calls
+    assert a != derive_point_seed(42, "point-b")
+    assert a != derive_point_seed(43, "point-a")
+    config = point_config(base_config, "point-a", {}, derive_seeds=True)
+    assert config.seed == a
+    # An explicit seed override always wins over derivation.
+    pinned = point_config(base_config, "point-a", {"seed": 5}, derive_seeds=True)
+    assert pinned.seed == 5

@@ -1,6 +1,5 @@
 """Integration-level tests for the ServerSite (HTTPD + accelerator)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for site lists, the invalidation table, known-sites log."""
 
-import math
 
 from repro.server import (
     ENTRY_BYTES,

@@ -3,6 +3,8 @@
 import io
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.traces import (
     Trace,
@@ -36,10 +38,62 @@ def test_parse_malformed_returns_none():
     assert parse_clf_line('host - - [bad] "GET" 200') is None
 
 
-def test_parse_bad_timestamp_raises():
-    line = GOOD.replace("01/Jul/1995", "99/Zzz/1995")
-    with pytest.raises(ValueError):
-        parse_clf_line(line)
+def test_parse_bad_timestamp_returns_none():
+    # Malformed lines must be skippable, never fatal: a bad month or an
+    # out-of-range day used to raise out of parse_clf_line.
+    assert parse_clf_line(GOOD.replace("01/Jul/1995", "99/Zzz/1995")) is None
+    assert parse_clf_line(GOOD.replace("01/Jul/1995", "31/Feb/1995")) is None
+    assert parse_clf_line(GOOD.replace(":00:00:01", ":25:00:01")) is None
+
+
+def test_parse_month_case_insensitive():
+    assert parse_clf_line(GOOD.replace("Jul", "JUL")).timestamp == parse_clf_line(
+        GOOD
+    ).timestamp
+    assert parse_clf_line(GOOD.replace("Jul", "jul")) is not None
+    assert parse_clf_line(GOOD.replace("Jul", "July")) is not None
+
+
+def test_parse_request_without_http_version():
+    entry = parse_clf_line(GOOD.replace("GET /a.html HTTP/1.0", "GET /a.html"))
+    assert entry is not None
+    assert entry.method == "GET"
+    assert entry.url == "/a.html"
+
+
+def test_parse_request_with_spaces_in_url():
+    entry = parse_clf_line(
+        GOOD.replace("GET /a.html HTTP/1.0", "get /my docs/a.html HTTP/1.0")
+    )
+    assert entry is not None
+    assert entry.method == "GET"
+    assert entry.url == "/my docs/a.html"
+
+
+def test_parse_request_method_only_returns_none():
+    assert parse_clf_line(GOOD.replace("GET /a.html HTTP/1.0", "GET")) is None
+    assert parse_clf_line(GOOD.replace("GET /a.html HTTP/1.0", "")) is None
+
+
+def test_parse_odd_timezone_offsets():
+    # Half-hour offsets are real (e.g. the paper's SASK trace is from
+    # Saskatchewan); GMT spellings appear in some archive logs.
+    base = parse_clf_line(GOOD.replace("-0400", "+0000"))
+    half = parse_clf_line(GOOD.replace("-0400", "+0530"))
+    assert half.timestamp - base.timestamp == pytest.approx(-5.5 * 3600)
+    named = parse_clf_line(GOOD.replace("-0400", "GMT"))
+    assert named.timestamp == base.timestamp
+    # Garbage offsets invalidate the line instead of silently mis-parsing.
+    assert parse_clf_line(GOOD.replace("-0400", "0400")) is None
+    assert parse_clf_line(GOOD.replace("-0400", "-04:00")) is None
+    assert parse_clf_line(GOOD.replace("-0400", "+0475")) is None
+    assert parse_clf_line(GOOD.replace("-0400", "elsewhere")) is None
+
+
+def test_parse_combined_format_trailing_fields():
+    entry = parse_clf_line(GOOD + ' "http://ref/" "Mozilla/1.0"')
+    assert entry is not None
+    assert entry.size == 6245
 
 
 def test_timezone_offset_applied():
@@ -101,3 +155,42 @@ def test_roundtrip_write_then_read():
 def test_format_clf_line_shape():
     line = format_clf_line(TraceRecord(timestamp=0.0, client="c", url="/u"), size=5)
     assert parse_clf_line(line) is not None
+
+
+# -- property: write_clf -> read_clf round-trips whole traces -------------
+
+_clients = st.sampled_from(["alpha.example.com", "beta", "10.0.0.7"])
+_urls = st.sampled_from(["/", "/index.html", "/img/logo.gif", "/docs/a.txt"])
+
+
+@st.composite
+def _traces(draw):
+    # Strictly-increasing integer timestamps starting at zero: CLF has
+    # one-second resolution and read_clf rebases to the first request.
+    gaps = draw(st.lists(st.integers(min_value=1, max_value=3600),
+                         min_size=0, max_size=20))
+    times = [0]
+    for gap in gaps:
+        times.append(times[-1] + gap)
+    records = [
+        TraceRecord(timestamp=float(t), client=draw(_clients), url=draw(_urls))
+        for t in times
+    ]
+    documents = {
+        url: draw(st.integers(min_value=1, max_value=1 << 20))
+        for url in {r.url for r in records}
+    }
+    return Trace(name="prop", records=records, documents=documents,
+                 duration=times[-1] + 1.0)
+
+
+@given(_traces())
+def test_clf_roundtrip_property(trace):
+    buf = io.StringIO()
+    assert write_clf(trace, buf) == len(trace.records)
+    back = read_clf(buf.getvalue().splitlines(), name=trace.name)
+    assert [(r.timestamp, r.client, r.url) for r in back.records] == [
+        (r.timestamp, r.client, r.url) for r in trace.records
+    ]
+    assert back.documents == trace.documents
+    assert back.duration == trace.records[-1].timestamp + 1.0

@@ -1,7 +1,5 @@
 """Tests for the trace analytics module."""
 
-import random
-
 import pytest
 
 from repro.sim import RngRegistry
