@@ -1,0 +1,36 @@
+"""Chaos campaigns: randomized fault schedules + a consistency auditor.
+
+The paper proves strong consistency on three hand-written failure
+scenarios; this package *checks* it under arbitrary seeded combinations
+of crashes, partitions, lossy/duplicating/reordering links and clock
+skew, and shrinks any violating schedule to a minimal reproducer.
+
+Entry points: :func:`run_campaign` (library), ``python -m repro chaos``
+(CLI).  See ``docs/chaos.md``.
+"""
+
+from .auditor import ConsistencyAuditor, ViolationRecord
+from .campaign import CampaignReport, ScheduleVerdict, run_campaign, shrink_schedule
+from .faults import (
+    FAULT_KINDS,
+    MAX_CLOCK_SKEW,
+    Fault,
+    FaultSchedule,
+    apply_schedule,
+    random_schedule,
+)
+
+__all__ = [
+    "Fault",
+    "FaultSchedule",
+    "FAULT_KINDS",
+    "MAX_CLOCK_SKEW",
+    "random_schedule",
+    "apply_schedule",
+    "ConsistencyAuditor",
+    "ViolationRecord",
+    "ScheduleVerdict",
+    "CampaignReport",
+    "run_campaign",
+    "shrink_schedule",
+]

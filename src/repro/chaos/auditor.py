@@ -1,0 +1,146 @@
+"""The strong-consistency auditor.
+
+Rides along a replay (as every proxy's ``observer``) and classifies each
+*unvalidated* cached serve of outdated content:
+
+* For a **weak** protocol (adaptive TTL, piggyback), staleness is the
+  accepted trade-off — recorded, never a violation.
+* For a **strong** protocol, staleness is allowed only while someone
+  still *owes* the proxy an invalidation:
+
+  - ``write-pending`` — the modification's INVALIDATE is registered but
+    not yet delivered (the paper's definition: the write has not
+    completed, so a concurrent read may legally return the old version);
+  - ``origin-down`` — the origin is crashed, so the write itself cannot
+    complete until recovery;
+  - ``recovery-pending`` — a post-crash INVALIDATE-by-server for this
+    proxy is still in flight;
+  - ``detection-pending`` — browser-based detection only: the author has
+    not yet viewed the modified page, so the accelerator cannot know.
+
+  A stale serve with **no** open obligation is a *silent-staleness*
+  violation, and a serve of a copy whose own INVALIDATE was already
+  delivered is a *post-delivery-serve* violation (caught by the proxy's
+  write-completion marker).  Either means the protocol broke its
+  guarantee under the fault schedule in play.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+__all__ = ["ConsistencyAuditor", "ViolationRecord"]
+
+#: Cap on per-violation detail records kept (counts are always exact).
+MAX_VIOLATION_DETAILS = 100
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One observed strong-consistency violation."""
+
+    time: float
+    kind: str
+    url: str
+    client_id: str
+    proxy: str
+    staleness_age: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "url": self.url,
+            "client_id": self.client_id,
+            "proxy": self.proxy,
+            "staleness_age": self.staleness_age,
+        }
+
+
+class ConsistencyAuditor:
+    """Classifies every cached serve while a replay runs.
+
+    Args:
+        server: the :class:`repro.server.ServerSite` whose obligations
+            ledger distinguishes in-flight windows from violations.
+        strong: whether the protocol under test claims strong consistency.
+        detection: the experiment's modification-detection mode
+            (``"notify"`` or ``"browser"``); browser mode has one extra
+            allowed window (the author has not viewed the page yet).
+    """
+
+    def __init__(self, server, strong: bool, detection: str = "notify") -> None:
+        self.server = server
+        self.strong = strong
+        self.detection = detection
+        self.serves = 0
+        self.stale_serves = 0
+        self.allowed: Counter = Counter()
+        self.violations: List[ViolationRecord] = []
+        self.violation_count = 0
+
+    # -- the proxy observer hook -------------------------------------------
+
+    def on_serve(self, proxy, entry, outcome) -> None:
+        """Called by the proxy after every cached serve."""
+        self.serves += 1
+        if outcome.validated:
+            return  # just confirmed by the origin: fresh by definition
+        if outcome.violation and self.strong:
+            self._record(proxy, entry, outcome, "post-delivery-serve")
+            return
+        if not outcome.stale_served:
+            return
+        self.stale_serves += 1
+        if not self.strong:
+            self.allowed["weak-protocol"] += 1
+            return
+        reason = self._excuse(proxy, entry)
+        if reason is not None:
+            self.allowed[reason] += 1
+        else:
+            self._record(proxy, entry, outcome, "silent-staleness")
+
+    def _excuse(self, proxy, entry) -> str:
+        """The open obligation covering this stale serve, or ``None``."""
+        server = self.server
+        if server.write_pending(entry.url, entry.client_id):
+            return "write-pending"
+        if not server.up:
+            return "origin-down"
+        if server.recovery_pending(proxy.address):
+            return "recovery-pending"
+        if self.detection == "browser" and server.change_pending_detection(
+            entry.url
+        ):
+            return "detection-pending"
+        return None
+
+    def _record(self, proxy, entry, outcome, kind: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < MAX_VIOLATION_DETAILS:
+            self.violations.append(
+                ViolationRecord(
+                    time=proxy.sim.now,
+                    kind=kind,
+                    url=entry.url,
+                    client_id=entry.client_id,
+                    proxy=proxy.address,
+                    staleness_age=outcome.staleness_age,
+                )
+            )
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-compatible verdict for this replay."""
+        return {
+            "strong": self.strong,
+            "serves": self.serves,
+            "stale_serves": self.stale_serves,
+            "allowed_staleness": dict(self.allowed),
+            "violation_count": self.violation_count,
+            "violations": [v.to_dict() for v in self.violations],
+        }

@@ -9,6 +9,10 @@ Commands:
   in parallel (``--parallel N``) with checkpointed resume (``--resume``).
 * ``table``     — reproduce Table 3 or Table 4 (all traces, all three
   protocols); the same ``--parallel``/``--resume`` flags apply.
+* ``chaos``     — run a randomized fault-injection campaign with the
+  strong-consistency auditor attached; violating schedules are shrunk
+  to minimal reproducers.  Exits 1 if a strong protocol is caught
+  serving stale bytes it should not have.
 * ``summarize`` — print the Table 2 row for a synthetic or CLF trace.
 * ``generate``  — write a calibrated synthetic trace as a CLF log.
 * ``analyze``   — evaluate the Table 1 model on an r/m stream.
@@ -20,6 +24,7 @@ Examples::
     python -m repro sweep --trace SDSC --protocols polling,invalidation \\
         --lifetimes 2,25 --parallel 4 --checkpoint-dir out/ckpt --resume
     python -m repro table --table 3 --scale 0.1 --parallel 4
+    python -m repro chaos --schedules 50 --seed 7 --protocol invalidation
     python -m repro summarize --trace NASA
     python -m repro summarize --clf /path/to/access_log
     python -m repro generate --trace SDSC --scale 0.2 --out sdsc.log
@@ -238,6 +243,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_parallel_args(table)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault-injection campaign with consistency audit",
+    )
+    add_replay_args(chaos)
+    chaos.set_defaults(seed=7)  # campaign convention; --seed still wins
+    chaos.add_argument(
+        "--protocol",
+        default="invalidation",
+        choices=sorted(PROTOCOL_FACTORIES),
+        help="consistency protocol under test",
+    )
+    chaos.add_argument(
+        "--schedules",
+        type=int,
+        default=50,
+        metavar="N",
+        help="random fault schedules to sample and replay (default 50)",
+    )
+    chaos.add_argument(
+        "--max-faults",
+        type=int,
+        default=5,
+        metavar="K",
+        help="cap on faults per schedule (default 5)",
+    )
+    chaos.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip shrinking violating schedules to minimal reproducers",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit the full campaign report as JSON"
+    )
+    add_parallel_args(chaos)
+
     summ = sub.add_parser("summarize", help="print a Table 2-style summary")
     add_trace_args(summ)
     summ.add_argument(
@@ -453,6 +494,64 @@ def _cmd_table(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    import json
+
+    from .chaos import run_campaign
+
+    protocol = PROTOCOL_FACTORIES[args.protocol]()
+    base = _make_config(args, protocol)
+    try:
+        report = run_campaign(
+            base,
+            num_schedules=args.schedules,
+            seed=args.seed,
+            max_faults=args.max_faults,
+            runner=_make_runner(args),
+            shrink=not args.no_shrink,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except (ValueError, SweepPointFailed) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+    else:
+        allowed = report.allowed_staleness()
+        print(
+            f"chaos campaign: {args.protocol} on {report.trace_name}, "
+            f"{report.num_schedules} schedules, seed {report.seed}",
+            file=out,
+        )
+        print(
+            f"  verdict: {'CLEAN' if report.ok else 'VIOLATIONS FOUND'} "
+            f"({report.total_violations} violation(s), "
+            f"{report.total_stale_serves} stale serve(s))",
+            file=out,
+        )
+        if allowed:
+            reasons = ", ".join(
+                f"{reason}={count}" for reason, count in sorted(allowed.items())
+            )
+            print(f"  allowed staleness: {reasons}", file=out)
+        for verdict in report.verdicts:
+            if verdict.ok:
+                continue
+            print(
+                f"  {verdict.label}: {verdict.violation_count} violation(s) "
+                f"across {verdict.fault_count} fault(s)",
+                file=out,
+            )
+        for label, repro in sorted(report.reproducers.items()):
+            faults = repro["faults"] or ["(reproduces fault-free)"]
+            print(f"  minimal reproducer for {label}:", file=out)
+            for line in faults:
+                print(f"    - {line}", file=out)
+    # A weak protocol's staleness is its trade-off, not a failure: only
+    # strong protocols turn violations into a nonzero exit code.
+    return 1 if (report.strong and not report.ok) else 0
+
+
 def _cmd_summarize(args, out) -> int:
     if args.clf:
         with open(args.clf, "r", errors="replace") as handle:
@@ -501,6 +600,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "table": _cmd_table,
+        "chaos": _cmd_chaos,
         "summarize": _cmd_summarize,
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,

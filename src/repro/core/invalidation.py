@@ -16,6 +16,8 @@ sending process), benchmarked as Ablation A.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..proxy.entry import CacheEntry
 from ..server.accelerator import AcceleratorConfig
 from .protocol import SERVE, VALIDATE, ClientPolicy, Protocol
@@ -47,6 +49,7 @@ def invalidation(
     blocking: bool = True,
     multicast: bool = False,
     retry_interval: float = 30.0,
+    max_retries: Optional[int] = None,
 ) -> Protocol:
     """The paper's simple invalidation protocol.
 
@@ -56,6 +59,10 @@ def invalidation(
         multicast: one INVALIDATE per proxy host instead of per client
             site (the paper's suggested mitigation for long fan-outs).
         retry_interval: TCP retry period for failure handling.
+        max_retries: give up on an INVALIDATE after this many retries
+            (the copy's site-list entry turns *dirty* and is flushed on
+            the proxy's next contact); ``None`` retries forever, the
+            paper's behaviour.
     """
     name = "invalidation"
     if multicast:
@@ -68,6 +75,7 @@ def invalidation(
             blocking_send=blocking,
             multicast=multicast,
             retry_interval=retry_interval,
+            max_retries=max_retries,
         ),
         strong=True,
     )

@@ -1,9 +1,9 @@
 """Simulated network substrate: fabric, latency models, reliable channel."""
 
 from .channel import DeliveryFailed, DeliveryReport, ReliableChannel
-from .latency import FixedLatency, LanModel, LatencyModel, WanModel
+from .latency import FixedLatency, LanModel, LatencyModel, PerturbedLatency, WanModel
 from .message import Address, Message
-from .network import Network, Unreachable
+from .network import LinkFault, Network, Unreachable
 from .stats import NetworkStats
 
 __all__ = [
@@ -11,11 +11,13 @@ __all__ = [
     "Message",
     "Network",
     "Unreachable",
+    "LinkFault",
     "NetworkStats",
     "LatencyModel",
     "LanModel",
     "WanModel",
     "FixedLatency",
+    "PerturbedLatency",
     "ReliableChannel",
     "DeliveryReport",
     "DeliveryFailed",

@@ -11,20 +11,35 @@ cares about:
   :class:`Unreachable` after ``connect_timeout`` seconds, mirroring a
   refused/timed-out connection.  Fire-and-forget senders may ignore the
   returned event; the failure is pre-defused so it never crashes the run.
+* A crashed *sender* cannot transmit either: its sends fail the same way,
+  so a process that outlives its host (e.g. an invalidation fan-out whose
+  server died mid-loop) retries instead of teleporting messages.
 * Reachability is also re-checked at delivery time, so a node that dies (or
   a partition that forms) while a message is in flight loses the message.
+
+Chaos extensions:
+
+* Partitions are individually removable: :meth:`Network.partition` returns
+  a handle, and :meth:`Network.heal` takes an optional handle so
+  overlapping partition faults heal independently.
+* Per-link faults (:class:`LinkFault`): seeded probabilistic message loss
+  and duplication plus latency spikes/jitter (which reorder messages) on a
+  directed ``src -> dst`` link, with ``"*"`` wildcards.  Losses are
+  recorded with a reason so chaos reports can reconcile sent vs delivered.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
 from ..sim import Event, Simulator
 from .latency import LanModel, LatencyModel
 from .message import Address, Message
 from .stats import NetworkStats
 
-__all__ = ["Network", "Unreachable"]
+__all__ = ["Network", "Unreachable", "LinkFault"]
 
 
 class Unreachable(Exception):
@@ -34,6 +49,33 @@ class Unreachable(Exception):
         super().__init__(f"{message!r} undeliverable: {reason}")
         self.message = message
         self.reason = reason
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Probabilistic misbehaviour injected on one directed link.
+
+    Attributes:
+        drop_prob: probability a message on the link is silently lost
+            (the sender sees a connect-timeout failure, like a TCP send
+            that never got its ACK; reliable channels retry).
+        dup_prob: probability a delivered message is delivered twice
+            (receivers must be idempotent).
+        extra_delay: fixed latency spike added to every message.
+        jitter: uniform [0, jitter] extra seconds per message; enough
+            jitter reorders back-to-back messages.
+    """
+
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    extra_delay: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_prob <= 1.0 or not 0.0 <= self.dup_prob <= 1.0:
+            raise ValueError("probabilities must be within [0, 1]")
+        if self.extra_delay < 0 or self.jitter < 0:
+            raise ValueError("extra_delay and jitter must be non-negative")
 
 
 class Network:
@@ -52,7 +94,11 @@ class Network:
         self.connect_timeout = connect_timeout
         self._handlers: Dict[Address, Callable[[Message], None]] = {}
         self._down: Set[Address] = set()
-        self._partitions: List[Tuple[frozenset, frozenset]] = []
+        self._partitions: Dict[int, Tuple[frozenset, frozenset]] = {}
+        self._partition_seq = 0
+        # (src, dst) -> (LinkFault, rng); "*" acts as a wildcard side.
+        self._link_faults: Dict[Tuple[Address, Address],
+                                Tuple[LinkFault, random.Random]] = {}
 
     # -- topology -----------------------------------------------------------
 
@@ -85,22 +131,65 @@ class Network:
         """True when the node is registered and not crashed."""
         return address in self._handlers and address not in self._down
 
-    def partition(self, group_a: Iterable[Address], group_b: Iterable[Address]) -> None:
-        """Cut connectivity between every pair across the two groups."""
-        self._partitions.append((frozenset(group_a), frozenset(group_b)))
+    def partition(
+        self, group_a: Iterable[Address], group_b: Iterable[Address]
+    ) -> int:
+        """Cut connectivity between every pair across the two groups.
 
-    def heal(self) -> None:
-        """Remove all partitions."""
-        self._partitions.clear()
+        Returns a handle that :meth:`heal` accepts, so overlapping
+        partitions (chaos schedules) can be removed independently.
+        """
+        self._partition_seq += 1
+        self._partitions[self._partition_seq] = (
+            frozenset(group_a),
+            frozenset(group_b),
+        )
+        return self._partition_seq
+
+    def heal(self, handle: Optional[int] = None) -> None:
+        """Remove one partition (by handle) or all of them (no handle)."""
+        if handle is None:
+            self._partitions.clear()
+        else:
+            self._partitions.pop(handle, None)
 
     def is_reachable(self, src: Address, dst: Address) -> bool:
         """True when no partition separates ``src`` from ``dst``."""
-        for group_a, group_b in self._partitions:
+        for group_a, group_b in self._partitions.values():
             if (src in group_a and dst in group_b) or (
                 src in group_b and dst in group_a
             ):
                 return False
         return True
+
+    # -- link faults ---------------------------------------------------------
+
+    def set_link_fault(
+        self,
+        src: Address,
+        dst: Address,
+        fault: LinkFault,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """Install a :class:`LinkFault` on the directed ``src -> dst`` link.
+
+        ``"*"`` on either side matches any address.  Replaces any fault
+        already installed on the same (src, dst) pair.
+        """
+        self._link_faults[(src, dst)] = (fault, rng or random.Random(0))
+
+    def clear_link_fault(self, src: Address, dst: Address) -> None:
+        """Remove the fault installed on the directed ``src -> dst`` link."""
+        self._link_faults.pop((src, dst), None)
+
+    def _fault_for(
+        self, src: Address, dst: Address
+    ) -> Optional[Tuple[LinkFault, random.Random]]:
+        for key in ((src, dst), (src, "*"), ("*", dst), ("*", "*")):
+            hit = self._link_faults.get(key)
+            if hit is not None:
+                return hit
+        return None
 
     # -- transport ------------------------------------------------------------
 
@@ -114,9 +203,12 @@ class Network:
         """
         outcome = Event(self.sim)
 
-        def fail(reason: str, delay: float) -> None:
+        def fail(reason: str, delay: float, lost: bool = False) -> None:
             def do_fail() -> None:
-                self.stats.record_drop(message)
+                if lost:
+                    self.stats.record_loss(message, reason)
+                else:
+                    self.stats.record_drop(message)
                 outcome._defused = True
                 outcome.fail(Unreachable(message, reason))
 
@@ -125,17 +217,48 @@ class Network:
         if message.dst not in self._handlers:
             fail("unknown address", self.connect_timeout)
             return outcome
-        if message.dst in self._down or not self.is_reachable(message.src, message.dst):
+        if (
+            message.src in self._down
+            or message.dst in self._down
+            or not self.is_reachable(message.src, message.dst)
+        ):
             fail("host unreachable", self.connect_timeout)
             return outcome
+
+        fault_hit = self._fault_for(message.src, message.dst)
+        self.stats.record_send(message)
+
+        delay = self.latency.delay(message)
+        duplicate_delay: Optional[float] = None
+        if fault_hit is not None:
+            fault, rng = fault_hit
+            if fault.drop_prob > 0 and rng.random() < fault.drop_prob:
+                # The segment vanished: the sender times out waiting for
+                # the ACK, exactly like a connect failure, but the loss is
+                # recorded as such for sent-vs-delivered reconciliation.
+                fail("link fault", self.connect_timeout, lost=True)
+                return outcome
+            delay += fault.extra_delay
+            if fault.jitter > 0:
+                delay += rng.uniform(0.0, fault.jitter)
+            if fault.dup_prob > 0 and rng.random() < fault.dup_prob:
+                duplicate_delay = fault.extra_delay + self.latency.delay(message)
+                if fault.jitter > 0:
+                    duplicate_delay += rng.uniform(0.0, fault.jitter)
+
+        def in_flight_loss_reason() -> Optional[str]:
+            if message.dst in self._down:
+                return "destination died in flight"
+            if not self.is_reachable(message.src, message.dst):
+                return "partition formed in flight"
+            return None
 
         def deliver() -> None:
             # Re-check at delivery time: the destination may have crashed or
             # been partitioned away while the message was in flight.
-            if message.dst in self._down or not self.is_reachable(
-                message.src, message.dst
-            ):
-                self.stats.record_drop(message)
+            reason = in_flight_loss_reason()
+            if reason is not None:
+                self.stats.record_loss(message, reason)
                 outcome._defused = True
                 outcome.fail(Unreachable(message, "lost in flight"))
                 return
@@ -143,5 +266,13 @@ class Network:
             outcome.succeed(message)
             self._handlers[message.dst](message)
 
-        self.sim.schedule_callback(self.latency.delay(message), deliver)
+        def deliver_duplicate() -> None:
+            if in_flight_loss_reason() is not None:
+                return  # the duplicate just vanishes; nobody tracks it
+            self.stats.record_duplicate(message)
+            self._handlers[message.dst](message)
+
+        self.sim.schedule_callback(delay, deliver)
+        if duplicate_delay is not None:
+            self.sim.schedule_callback(duplicate_delay, deliver_duplicate)
         return outcome

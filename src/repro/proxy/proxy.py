@@ -105,6 +105,13 @@ class ProxyCache:
             unvalidated cache serves are counted and piggybacked on the
             next upstream request for the URL (Section 7 hit metering).
         reply_timeout: seconds before an unanswered request fails.
+
+    Two chaos hooks, both inert by default: :attr:`observer` (an object
+    with ``on_serve(proxy, entry, outcome)``, called after every cached
+    serve — the consistency auditor) and :attr:`clock_skew` (seconds added
+    to this host's notion of wall-clock time when the *policy* judges a
+    cached copy, modelling a drifting local clock against lease expiries
+    and TTLs).
     """
 
     def __init__(
@@ -148,6 +155,8 @@ class ProxyCache:
         self.questionable_validations = 0
         self.failed_requests = 0
         self.up = True
+        self.observer = None
+        self.clock_skew = 0.0
         network.register(address, self._receive)
 
     # ------------------------------------------------------------------
@@ -202,17 +211,23 @@ class ProxyCache:
         outcome = RequestOutcome(url=url, client_id=client_id, started=sim.now)
         yield sim.timeout(self.costs.cpu_lookup)
 
-        entry = self.cache.get(entry_key(url, client_id), sim.now)
-        outcome.had_cached_copy = entry is not None
-
         try:
+            if not self.up:
+                # A dead host serves nobody; its browsers see the outage.
+                raise RequestFailed(f"proxy {self.address} is down")
+            entry = self.cache.get(entry_key(url, client_id), sim.now)
+            outcome.had_cached_copy = entry is not None
+
             if entry is None:
                 yield from self._fill(client_id, url, outcome)
             else:
                 action = (
                     "validate"
                     if entry.questionable
-                    else self.policy.action(entry, sim.now)
+                    # The policy judges freshness on the host's own clock,
+                    # which may be skewed (chaos fault): lease/TTL expiry
+                    # shifts by clock_skew on this host.
+                    else self.policy.action(entry, sim.now + self.clock_skew)
                 )
                 if action == "serve":
                     yield from self._serve_cached(entry, outcome)
@@ -252,6 +267,8 @@ class ProxyCache:
         outcome.violation = entry.fetched_at <= self._last_invalidated.get(
             entry.key, float("-inf")
         )
+        if self.observer is not None:
+            self.observer.on_serve(self, entry, outcome)
 
     def _fill(self, client_id: str, url: str, outcome: RequestOutcome):
         request = make_get(
@@ -355,11 +372,18 @@ class ProxyCache:
         self.network.set_down(self.address)
         self._pending.clear()
 
-    def recover(self) -> int:
+    def recover(self, cold: bool = False) -> int:
         """Restart; all entries become questionable (Section 4).
 
-        Returns how many entries were flagged.
+        A *warm* restart keeps the on-disk cache (Harvest's behaviour); a
+        *cold* one comes back with an empty cache — the disk was replaced
+        or the store wiped.  Returns how many entries were flagged
+        questionable (0 for cold).
         """
         self.up = True
         self.network.set_up(self.address)
+        if cold:
+            self.cache.clear()
+            self._tombstones.clear()
+            return 0
         return self.cache.mark_all_questionable()

@@ -92,6 +92,12 @@ class ExperimentConfig:
             protocols.
         parent_cache_bytes: capacity of each parent cache.
         iostat_period: sampling period for the load monitor.
+        fault_schedule: optional :class:`repro.chaos.FaultSchedule` (or
+            its ``to_dict()`` form) of crashes/partitions/link faults/
+            clock skew to inject during the replay.
+        audit: attach the strong-consistency auditor
+            (:class:`repro.chaos.ConsistencyAuditor`) and publish its
+            verdict in ``result.chaos``.
     """
 
     trace: Trace
@@ -114,6 +120,8 @@ class ExperimentConfig:
     hierarchy_parents: Optional[int] = None
     parent_cache_bytes: Optional[int] = 256 * 1024 * 1024
     iostat_period: float = 60.0
+    fault_schedule: Optional[object] = None
+    audit: bool = False
 
     def __post_init__(self) -> None:
         if self.mean_lifetime <= 0:
@@ -173,6 +181,10 @@ class ExperimentResult:
     parent_invalidations_forwarded: int = 0
 
     wall_time: float = 0.0
+
+    # Chaos verdict (auditor report + network-fault and schedule data);
+    # ``None`` unless the run was audited or fault-injected.
+    chaos: Optional[dict] = None
 
     @property
     def hits(self) -> int:
@@ -265,6 +277,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     oracle = lambda url: filestore.get(url).last_modified  # noqa: E731
     shards = shard_records(trace.records, config.num_pseudo_clients)
     clients: List[PseudoClient] = []
+    proxies: List[ProxyCache] = []
     for i, shard in enumerate(shards):
         upstream = (
             parents[i % len(parents)].address if parents else "server"
@@ -283,6 +296,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             costs=scaled_proxy_costs,
             oracle=oracle,
         )
+        proxies.append(proxy)
         clients.append(
             PseudoClient(
                 proxy,
@@ -291,6 +305,34 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 think_time=config.think_time,
                 rng=rng.stream(f"think-{i}"),
             )
+        )
+
+    # Operator-configured roster: lets a server that lost its persistent
+    # site log still reach every proxy on recovery.
+    server.proxy_roster = {p.address for p in proxies}
+
+    auditor = None
+    if config.audit:
+        from ..chaos.auditor import ConsistencyAuditor
+
+        auditor = ConsistencyAuditor(
+            server, strong=protocol.strong, detection=config.detection
+        )
+        for proxy in proxies:
+            proxy.observer = auditor
+
+    injector = None
+    schedule_obj = None
+    if config.fault_schedule is not None:
+        from ..chaos.faults import FaultSchedule, apply_schedule
+        from ..failures import FailureInjector
+
+        schedule_obj = config.fault_schedule
+        if isinstance(schedule_obj, dict):
+            schedule_obj = FaultSchedule.from_dict(schedule_obj)
+        injector = FailureInjector(sim, network)
+        apply_schedule(
+            schedule_obj, injector, server, {p.address: p for p in proxies}
         )
 
     # Modification schedule in trace time (identical across protocols).
@@ -402,4 +444,21 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         ),
         wall_time=wall_time,
     )
+    if auditor is not None or injector is not None:
+        chaos = auditor.report() if auditor is not None else {}
+        chaos["network"] = {
+            "messages_sent": stats.messages_sent,
+            "messages_lost": stats.messages_lost,
+            "lost_by_reason": stats.lost_by_reason(),
+            "duplicates_delivered": stats.duplicates_delivered,
+            "invalidations_abandoned": server.invalidations_abandoned,
+        }
+        if schedule_obj is not None:
+            chaos["schedule"] = schedule_obj.to_dict()
+        if injector is not None:
+            chaos["fault_log"] = [
+                {"time": e.time, "kind": e.kind, "target": e.target}
+                for e in injector.log
+            ]
+        result.chaos = chaos
     return result

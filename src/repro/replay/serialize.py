@@ -100,6 +100,8 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
         "max": counters.staleness.max,
         "count": counters.staleness.count,
     }
+    if result.chaos is not None:
+        data["chaos"] = result.chaos
     return data
 
 
@@ -183,7 +185,9 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
             },
         }
     counters = _counters_from_dict(data["counters"], restore)
-    return ExperimentResult(counters=counters, **scalars)
+    return ExperimentResult(
+        counters=counters, chaos=data.get("chaos"), **scalars
+    )
 
 
 def write_checkpoint(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["AcceleratorConfig"]
 
@@ -55,6 +56,16 @@ class AcceleratorConfig:
         piggyback_cap: at most this many URLs per piggybacked list.
         retry_interval: seconds between TCP retries for undeliverable
             invalidations (Section 4 failure handling).
+        max_retries: give up on an invalidation after this many delivery
+            attempts and mark the site-list entry dirty instead (flushed on
+            the proxy's next contact).  ``None`` retries forever, the
+            paper's Section 4 behaviour.
+        lease_grace: safety margin, in seconds, for clock skew between the
+            server and its clients.  The server still invalidates entries
+            whose lease expired up to ``lease_grace`` seconds ago, and only
+            purges them once the grace has also elapsed — so a client whose
+            clock runs behind by at most this much never serves a stale
+            copy it believes is still leased.
     """
 
     invalidation: bool = False
@@ -66,12 +77,18 @@ class AcceleratorConfig:
     piggyback: bool = False
     piggyback_cap: int = 100
     retry_interval: float = 30.0
+    max_retries: Optional[int] = None
+    lease_grace: float = 0.0
 
     def __post_init__(self) -> None:
         if self.lease_get < 0 or self.lease_ims < 0:
             raise ValueError("lease durations must be non-negative")
         if self.retry_interval <= 0:
             raise ValueError("retry_interval must be positive")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.lease_grace < 0:
+            raise ValueError("lease_grace must be non-negative")
 
     def lease_for(self, is_ims: bool) -> float:
         """Lease duration to attach to a request of the given kind."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..http import (
     HttpRequest,
@@ -35,7 +35,7 @@ from ..http import (
 )
 from ..http.wire import DEFAULT_WIRE, WireCosts
 from ..metering import UsageLedger
-from ..net import Message, Network, ReliableChannel
+from ..net import DeliveryFailed, Message, Network, ReliableChannel
 from ..sim import Resource, Simulator
 from .accelerator import AcceleratorConfig
 from .costs import DEFAULT_SERVER_COSTS, ServerCosts
@@ -78,7 +78,28 @@ class ServerSite:
         #: Section 7 hit metering: direct requests plus proxy-reported
         #: cache hits, per document.
         self.ledger = UsageLedger()
-        self.channel = ReliableChannel(network, retry_interval=self.accel.retry_interval)
+        self.channel = ReliableChannel(
+            network,
+            retry_interval=self.accel.retry_interval,
+            max_retries=self.accel.max_retries,
+        )
+
+        #: Consistency obligations ledger.  An obligation is opened the
+        #: instant a modification (or a recovery) makes a cached copy
+        #: stale, and closed only after the corresponding INVALIDATE is
+        #: *delivered*.  The chaos auditor treats staleness covered by an
+        #: open obligation as an allowed in-flight window, not a violation.
+        self._pending_inval: Dict[Tuple[str, str], str] = {}
+        self._pending_server_inval: Set[str] = set()
+        #: Abandoned deliveries (``max_retries`` exhausted) queued for
+        #: re-send on the target proxy's next contact with the server.
+        self._dirty_by_proxy: Dict[str, Dict[Tuple[str, str], None]] = {}
+        self._dirty_server_inval: Set[str] = set()
+        #: Operator-configured fleet membership: every proxy host that may
+        #: front this server.  Used as the recovery broadcast target when a
+        #: crash also destroys the persistent known-sites log.
+        self.proxy_roster: Set[str] = set()
+        self._sitelog_lost = False
 
         #: Last modification time the accelerator has *seen* per URL
         #: (browser-based detection compares against the file system).
@@ -99,6 +120,7 @@ class ServerSite:
         self.invalidations_sent = 0
         self.disk_reads = 0
         self.disk_writes = 0
+        self.invalidations_abandoned = 0
         #: Wall-clock seconds each modification's INVALIDATE fan-out took.
         self.invalidation_times: List[float] = []
 
@@ -117,6 +139,14 @@ class ServerSite:
 
     def _handle_request(self, request: HttpRequest):
         sim, costs = self.sim, self.costs
+
+        # A contact from a proxy we owe abandoned invalidations is the
+        # retry opportunity: the proxy is provably reachable right now.
+        if (
+            request.src in self._dirty_by_proxy
+            or request.src in self._dirty_server_inval
+        ):
+            sim.process(self._flush_dirty(request.src))
 
         # Admission: the accept loop is a choke point shared with blocking
         # invalidation sends.
@@ -212,9 +242,17 @@ class ServerSite:
             # Lazy lease reclamation: expired entries on this document's
             # list are dropped whenever it is touched (Section 6 — "the
             # server only needs to remember clients whose leases have not
-            # expired").
-            self.table.site_list(request.url).purge_expired(now)
-        if duration > 0:
+            # expired").  The clock-skew grace keeps recently-expired
+            # entries around: a client whose clock lags may still honour
+            # the lease, so it must still be invalidated.
+            self.table.site_list(request.url).purge_expired(
+                now - self.accel.lease_grace
+            )
+        # Zero-duration leases (the two-tier first tier) normally skip
+        # registration; under a clock-skew grace the server still remembers
+        # the site for the grace window, because a client whose clock runs
+        # behind may briefly act as if the lease were live.
+        if duration > 0 or self.accel.lease_grace > 0:
             expiry = math.inf if math.isinf(duration) else now + duration
             self.table.register(
                 request.url,
@@ -261,16 +299,20 @@ class ServerSite:
 
     def check_in(self, url: str) -> None:
         """The "notify" path: a check-in utility reports a change."""
+        if not self.up:
+            return  # the check-in utility runs on the crashed host
         self._seen_mtime[url] = self.filestore.get(url).last_modified
         if self.accel.piggyback:
             self._mod_log.append((self.sim.now, url))
         if self.accel.invalidation:
-            self.sim.process(self._send_invalidations(url))
+            self._start_invalidation(url)
 
     def check_document(self, url: str) -> bool:
         """The browser-based path: compare the file's mtime with the last
         one the accelerator saw; returns True when a change was detected
         (and, under invalidation, a fan-out was started)."""
+        if not self.up:
+            return False
         current = self.filestore.get(url).last_modified
         seen = self._seen_mtime.get(url)
         if seen is None:
@@ -284,17 +326,34 @@ class ServerSite:
         if self.accel.piggyback:
             self._mod_log.append((self.sim.now, url))
         if self.accel.invalidation:
-            self.sim.process(self._send_invalidations(url))
+            self._start_invalidation(url)
         return True
 
-    def _send_invalidations(self, url: str):
+    def _start_invalidation(self, url: str) -> None:
+        """Open the consistency obligations for a change, then fan out.
+
+        The obligations are registered synchronously — at the instant the
+        modification is detected — so the auditor can tell "stale because
+        the INVALIDATE is still in flight" (allowed) apart from "stale and
+        nobody owes this proxy anything" (a violation).
+        """
+        entries = self.table.note_modification(
+            url, self.sim.now - self.accel.lease_grace
+        )
+        for entry in entries:
+            self._pending_inval[(url, entry.client_id)] = entry.proxy
+        self.sim.process(self._send_invalidations(url, entries))
+
+    def _send_invalidations(self, url: str, entries):
         """Send INVALIDATE(url) to every live site, serially over TCP.
 
         With ``multicast`` enabled, clients are grouped by proxy host and
-        each proxy receives a single message covering all of them.
+        each proxy receives a single message covering all of them.  When
+        ``max_retries`` is configured and a delivery is abandoned, the
+        affected site-list entries are marked dirty and re-sent on that
+        proxy's next contact — the obligation stays open either way.
         """
         sim = self.sim
-        entries = self.table.note_modification(url, sim.now)
         started = sim.now
         hold = self.accept_lock.request() if self.accel.blocking_send else None
         if hold is not None:
@@ -311,9 +370,15 @@ class ServerSite:
                     message = make_invalidate_multi(
                         self.address, proxy, url, client_ids, wire=self.wire
                     )
-                    yield from self.channel.deliver(message)
+                    try:
+                        yield from self.channel.deliver(message)
+                    except DeliveryFailed:
+                        self._abandon(url, proxy, client_ids)
+                        continue
                     self.invalidations_sent += 1
                     self.table.clear_after_invalidation(url, client_ids)
+                    for cid in client_ids:
+                        self._pending_inval.pop((url, cid), None)
             else:
                 for entry in entries:
                     with self.cpu.request() as cpu:
@@ -323,50 +388,150 @@ class ServerSite:
                         self.address, entry.proxy, url, entry.client_id,
                         wire=self.wire,
                     )
-                    yield from self.channel.deliver(message)
+                    try:
+                        yield from self.channel.deliver(message)
+                    except DeliveryFailed:
+                        self._abandon(url, entry.proxy, [entry.client_id])
+                        continue
                     self.invalidations_sent += 1
                     self.table.clear_after_invalidation(url, [entry.client_id])
+                    self._pending_inval.pop((url, entry.client_id), None)
         finally:
             if hold is not None:
                 self.accept_lock.release(hold)
         self.invalidation_times.append(sim.now - started)
 
-    # ------------------------------------------------------------------
-    # crash / recovery (Section 4 failure handling)
-    # ------------------------------------------------------------------
+    def _abandon(self, url: str, proxy: str, client_ids: Iterable[str]) -> None:
+        """Record an abandoned INVALIDATE and queue it for flush-on-contact.
 
-    def crash(self) -> None:
-        """Kill the server site: volatile invalidation state is lost."""
-        self.up = False
-        self.network.set_down(self.address)
-        self.table = InvalidationTable()
-        self._seen_mtime.clear()
-
-    def recover(self):
-        """Restart; returns the recovery process (INVALIDATE-by-server).
-
-        The persistent :class:`KnownSitesLog` survives the crash; every
-        site in it receives an INVALIDATE carrying the server address,
-        which makes proxies mark our documents questionable.
+        Keeps the site-list entry (marked dirty) and the pending
+        obligation: the copy out there is still stale and still owed an
+        invalidation, just via a different channel.
         """
-        self.up = True
-        self.network.set_up(self.address)
-        return self.sim.process(self._recovery_fanout())
+        queue = self._dirty_by_proxy.setdefault(proxy, {})
+        site_list = self.table.site_list(url)
+        for cid in client_ids:
+            self.invalidations_abandoned += 1
+            queue[(url, cid)] = None
+            site_list.mark_dirty(cid)
 
-    def _recovery_fanout(self):
+    def _flush_dirty(self, proxy: str):
+        """Re-send abandoned invalidations now that ``proxy`` is in touch."""
         sim = self.sim
-        seen_proxies = set()
-        for _client_id, proxy in self.known_sites.all_sites():
-            # One INVALIDATE-by-server per proxy host is enough: the proxy
-            # marks every cached document from this server questionable.
-            if proxy in seen_proxies:
-                continue
-            seen_proxies.add(proxy)
+        pairs = list(self._dirty_by_proxy.pop(proxy, {}))
+        server_inval = proxy in self._dirty_server_inval
+        self._dirty_server_inval.discard(proxy)
+        if server_inval:
             with self.cpu.request() as cpu:
                 yield cpu
                 yield sim.timeout(self.costs.cpu_invalidate_msg)
             message = make_invalidate_server(
                 self.address, proxy, server=self.address, wire=self.wire
             )
-            yield from self.channel.deliver(message)
+            try:
+                yield from self.channel.deliver(message)
+            except DeliveryFailed:
+                self._dirty_server_inval.add(proxy)
+            else:
+                self.invalidations_sent += 1
+                self._pending_server_inval.discard(proxy)
+        for url, cid in pairs:
+            with self.cpu.request() as cpu:
+                yield cpu
+                yield sim.timeout(self.costs.cpu_invalidate_msg)
+            message = make_invalidate_url(
+                self.address, proxy, url, cid, wire=self.wire
+            )
+            try:
+                yield from self.channel.deliver(message)
+            except DeliveryFailed:
+                self._dirty_by_proxy.setdefault(proxy, {})[(url, cid)] = None
+            else:
+                self.invalidations_sent += 1
+                self.table.clear_after_invalidation(url, [cid])
+                self._pending_inval.pop((url, cid), None)
+
+    # ------------------------------------------------------------------
+    # consistency obligations (queried by the chaos auditor)
+    # ------------------------------------------------------------------
+
+    def write_pending(self, url: str, client_id: str) -> bool:
+        """True while an INVALIDATE for ``(url, client_id)`` is still owed."""
+        return (url, client_id) in self._pending_inval
+
+    def recovery_pending(self, proxy: str) -> bool:
+        """True while a post-crash INVALIDATE-by-server is owed to ``proxy``."""
+        return proxy in self._pending_server_inval
+
+    def change_pending_detection(self, url: str) -> bool:
+        """True when the file changed but the accelerator has not seen it.
+
+        Nonzero only under browser-based detection, where the window
+        between the modification and the author's page view is an allowed
+        staleness window (Section 4's second detection approach).
+        """
+        seen = self._seen_mtime.get(url)
+        if seen is None:
+            return False
+        return self.filestore.get(url).last_modified > seen
+
+    # ------------------------------------------------------------------
+    # crash / recovery (Section 4 failure handling)
+    # ------------------------------------------------------------------
+
+    def crash(self, lose_sitelog: bool = False) -> None:
+        """Kill the server site: volatile invalidation state is lost.
+
+        With ``lose_sitelog`` the crash also destroys the *persistent*
+        known-sites log (disk loss) — the worst case the paper's Section 4
+        recovery story does not cover.  Recovery then falls back to
+        broadcasting INVALIDATE-by-server to the operator-configured
+        :attr:`proxy_roster`.
+        """
+        self.up = False
+        self.network.set_down(self.address)
+        self.table = InvalidationTable()
+        self._seen_mtime.clear()
+        if lose_sitelog:
+            self.known_sites = KnownSitesLog()
+            self._sitelog_lost = True
+
+    def recover(self):
+        """Restart; returns the recovery process (INVALIDATE-by-server).
+
+        The persistent :class:`KnownSitesLog` survives the crash; every
+        site in it receives an INVALIDATE carrying the server address,
+        which makes proxies mark our documents questionable.  When the log
+        was lost too, the :attr:`proxy_roster` is the broadcast target.
+        The recovery obligations are opened synchronously, before the
+        fan-out process runs, so the auditor sees them immediately.
+        """
+        self.up = True
+        self.network.set_up(self.address)
+        targets = {proxy for _client_id, proxy in self.known_sites.all_sites()}
+        if self._sitelog_lost:
+            targets |= self.proxy_roster
+            self._sitelog_lost = False
+        self._pending_server_inval |= targets
+        return self.sim.process(self._recovery_fanout(sorted(targets)))
+
+    def _recovery_fanout(self, proxies: List[str]):
+        sim = self.sim
+        # One INVALIDATE-by-server per proxy host is enough: the proxy
+        # marks every cached document from this server questionable.
+        for proxy in proxies:
+            with self.cpu.request() as cpu:
+                yield cpu
+                yield sim.timeout(self.costs.cpu_invalidate_msg)
+            message = make_invalidate_server(
+                self.address, proxy, server=self.address, wire=self.wire
+            )
+            try:
+                yield from self.channel.deliver(message)
+            except DeliveryFailed:
+                # Still owed: re-sent on the proxy's next contact.
+                self.invalidations_abandoned += 1
+                self._dirty_server_inval.add(proxy)
+                continue
             self.invalidations_sent += 1
+            self._pending_server_inval.discard(proxy)

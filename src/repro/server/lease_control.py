@@ -85,7 +85,11 @@ class AdaptiveLeaseController:
 
     def _adjust(self) -> None:
         # Expired entries don't count against the budget — reclaim first.
-        self.server.table.purge_expired(self.sim.now)
+        # Keep entries inside the clock-skew grace: lagging clients may
+        # still honour those leases, so they must stay invalidatable.
+        self.server.table.purge_expired(
+            self.sim.now - self.server.accel.lease_grace
+        )
         storage = self.server.table.storage_bytes()
         lease = self.server.lease_override
         if storage > self.budget:

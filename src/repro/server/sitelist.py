@@ -30,6 +30,9 @@ class SiteEntry:
     proxy: str
     registered_at: float
     lease_expires: float = math.inf
+    #: Set when an INVALIDATE for this entry was abandoned (max_retries
+    #: exhausted); the server re-invalidates on the proxy's next contact.
+    dirty: bool = False
 
     def live(self, now: float) -> bool:
         """True while the lease has not expired."""
@@ -68,6 +71,12 @@ class SiteList:
     def remove(self, client_id: str) -> None:
         """Forget a site (after its invalidation was delivered)."""
         self._entries.pop(client_id, None)
+
+    def mark_dirty(self, client_id: str) -> None:
+        """Flag a site whose invalidation was abandoned (no-op if absent)."""
+        entry = self._entries.get(client_id)
+        if entry is not None:
+            entry.dirty = True
 
     def live_entries(self, now: float) -> List[SiteEntry]:
         """Entries whose lease is still valid, registration order."""

@@ -1,4 +1,12 @@
-"""Tests for the Section 4 failure scenarios end-to-end."""
+"""Tests for the Section 4 failure scenarios end-to-end.
+
+The three scenarios the paper walks through (proxy failure, server-site
+failure, network partition) are at the top; the chaos extensions (cold
+restarts, site-log loss, link faults, clock skew, bounded retries) are
+below them.
+"""
+
+import random
 
 import pytest
 
@@ -10,11 +18,11 @@ from repro.server import FileStore, ServerSite
 from repro.sim import Simulator
 
 
-def build():
+def build(max_retries=None):
     sim = Simulator()
     net = Network(sim, latency=FixedLatency(0.001), connect_timeout=0.5)
     fs = FileStore.from_catalog({"/a": 1000, "/b": 2000})
-    protocol = invalidation(retry_interval=5.0)
+    protocol = invalidation(retry_interval=5.0, max_retries=max_retries)
     server = ServerSite(sim, net, "server", fs, accel=protocol.accelerator)
     proxy = ProxyCache(
         sim,
@@ -139,3 +147,162 @@ class TestPartition:
         sim.run(until=sim.now + 2.0)
         outcome = request(sim, proxy, "c2", "/a")
         assert outcome.failed
+
+    def test_overlapping_partitions_heal_independently(self):
+        sim, net, fs, server, proxy, inj = build()
+        inj.schedule_partition(
+            {"server"}, {"proxy-0"}, at=sim.now + 1.0, heal_at=sim.now + 50.0
+        )
+        inj.schedule_partition(
+            {"server"}, {"proxy-0"}, at=sim.now + 2.0, heal_at=sim.now + 10.0
+        )
+        # After the second partition heals, the first still blocks.
+        sim.run(until=sim.now + 20.0)
+        assert not net.is_reachable("server", "proxy-0")
+        sim.run(until=sim.now + 60.0)
+        assert net.is_reachable("server", "proxy-0")
+
+
+class TestColdRestart:
+    def test_cold_restart_wipes_cache(self):
+        sim, net, fs, server, proxy, inj = build()
+        request(sim, proxy, "c1", "/a")
+        request(sim, proxy, "c1", "/b")
+        inj.schedule_proxy_crash(
+            proxy, at=sim.now + 1.0, recover_at=sim.now + 2.0, cold=True
+        )
+        sim.run(until=sim.now + 3.0)
+        assert any(e.kind == "proxy-recover(cold)" for e in inj.log)
+        outcome = request(sim, proxy, "c1", "/a")
+        assert not outcome.had_cached_copy
+        assert outcome.transfer and not outcome.stale_served
+
+    def test_warm_restart_keeps_cache(self):
+        sim, net, fs, server, proxy, inj = build()
+        request(sim, proxy, "c1", "/a")
+        inj.schedule_proxy_crash(
+            proxy, at=sim.now + 1.0, recover_at=sim.now + 2.0, cold=False
+        )
+        sim.run(until=sim.now + 3.0)
+        outcome = request(sim, proxy, "c1", "/a")
+        assert outcome.had_cached_copy
+        assert outcome.validated  # questionable -> revalidate first
+
+
+class TestSiteLogLoss:
+    def test_roster_recovery_after_sitelog_loss(self):
+        """Server loses the persistent known-sites log: recovery must
+        still reach every proxy, via the operator-configured roster."""
+        sim, net, fs, server, proxy, inj = build()
+        server.proxy_roster = {"proxy-0"}
+        request(sim, proxy, "c1", "/a")
+        inj.schedule_server_crash(
+            server, at=sim.now + 1.0, recover_at=sim.now + 5.0,
+            lose_sitelog=True,
+        )
+        sim.run(until=sim.now + 10.0)
+        assert any("sitelog lost" in e.kind for e in inj.log)
+        assert len(server.known_sites.all_sites()) == 0
+        assert proxy.server_invalidations_received == 1  # roster reached it
+        outcome = request(sim, proxy, "c1", "/a")
+        assert outcome.validated and not outcome.stale_served
+
+    def test_sitelog_loss_without_roster_misses_proxies(self):
+        sim, net, fs, server, proxy, inj = build()
+        request(sim, proxy, "c1", "/a")
+        inj.schedule_server_crash(
+            server, at=sim.now + 1.0, recover_at=sim.now + 5.0,
+            lose_sitelog=True,
+        )
+        sim.run(until=sim.now + 10.0)
+        assert proxy.server_invalidations_received == 0
+
+
+class TestLinkFaults:
+    def test_lossy_link_retries_until_delivery(self):
+        """The reliable channel carries an INVALIDATE across a lossy link."""
+        sim, net, fs, server, proxy, inj = build()
+        request(sim, proxy, "c1", "/a")
+        inj.schedule_link_fault(
+            "server", "proxy-0", at=sim.now + 1.0, until=sim.now + 40.0,
+            drop_prob=0.8, rng=random.Random(5),
+        )
+        sim.run(until=sim.now + 2.0)
+        fs.modify("/a", now=sim.now)
+        server.check_in("/a")
+        sim.run(until=sim.now + 120.0)
+        assert proxy.invalidations_received == 1
+        assert net.stats.messages_lost > 0
+        assert "link fault" in net.stats.lost_by_reason()
+        outcome = request(sim, proxy, "c1", "/a")
+        assert not outcome.stale_served
+
+    def test_duplicating_link_is_idempotent(self):
+        sim, net, fs, server, proxy, inj = build()
+        request(sim, proxy, "c1", "/a")
+        inj.schedule_link_fault(
+            "server", "proxy-0", at=sim.now + 1.0, until=sim.now + 40.0,
+            dup_prob=1.0, rng=random.Random(5),
+        )
+        sim.run(until=sim.now + 2.0)
+        fs.modify("/a", now=sim.now)
+        server.check_in("/a")
+        sim.run(until=sim.now + 60.0)
+        assert net.stats.duplicates_delivered > 0
+        assert proxy.invalidations_received >= 1
+        outcome = request(sim, proxy, "c1", "/a")
+        assert outcome.transfer and not outcome.stale_served
+
+    def test_injector_validates_window(self):
+        sim, net, fs, server, proxy, inj = build()
+        with pytest.raises(ValueError):
+            inj.schedule_link_fault("server", "*", at=5.0, until=5.0)
+
+
+class TestClockSkew:
+    def test_skew_applied_and_reset(self):
+        sim, net, fs, server, proxy, inj = build()
+        inj.schedule_clock_skew(proxy, at=1.0, until=10.0, skew=-25.0)
+        sim.run(until=5.0)
+        assert proxy.clock_skew == -25.0
+        sim.run(until=15.0)
+        assert proxy.clock_skew == 0.0
+        kinds = [e.kind for e in inj.log]
+        assert any(k.startswith("clock-skew(-25") for k in kinds)
+        assert "clock-skew(reset)" in kinds
+
+    def test_skew_harmless_for_plain_invalidation(self):
+        # Infinite leases: the local clock never decides anything.
+        sim, net, fs, server, proxy, inj = build()
+        request(sim, proxy, "c1", "/a")
+        inj.schedule_clock_skew(proxy, at=sim.now + 1.0, until=sim.now + 50.0,
+                                skew=-30.0)
+        sim.run(until=sim.now + 2.0)
+        outcome = request(sim, proxy, "c1", "/a")
+        assert outcome.served_from_cache and not outcome.stale_served
+
+
+class TestBoundedRetries:
+    def test_abandoned_invalidation_flushed_on_contact(self):
+        """With max_retries set, an undeliverable INVALIDATE is abandoned
+        (entry turns dirty) and flushed when the proxy next contacts the
+        server — never forgotten."""
+        sim, net, fs, server, proxy, inj = build(max_retries=2)
+        request(sim, proxy, "c1", "/a")
+        inj.schedule_proxy_crash(
+            proxy, at=sim.now + 1.0, recover_at=sim.now + 200.0
+        )
+        sim.run(until=sim.now + 2.0)
+        fs.modify("/a", now=sim.now)
+        server.check_in("/a")
+        # 3 attempts x 5s retry interval pass long before recovery.
+        sim.run(until=sim.now + 100.0)
+        assert server.invalidations_abandoned == 1
+        sim.run(until=sim.now + 150.0)  # proxy back up
+        # First contact flushes the owed INVALIDATE before the reply.
+        request(sim, proxy, "c1", "/b")
+        sim.run()
+        assert proxy.invalidations_received == 1
+        assert server.invalidations_abandoned == 1  # not re-abandoned
+        outcome = request(sim, proxy, "c1", "/a")
+        assert not outcome.stale_served
