@@ -92,3 +92,73 @@ def test_condition_fanin_throughput(benchmark):
         return finished[0]
 
     assert benchmark(run)
+
+def test_hit_path_callback_throughput(benchmark):
+    """Zero-allocation hit flow: chained ``call_later`` ping-pong.
+
+    Mirrors ``ProxyCache.request_fast`` per cache hit — lookup callback,
+    serve callback, next request — with no Event, Timeout or generator
+    anywhere in the loop.
+    """
+
+    def run():
+        sim = Simulator()
+        fired = [0]
+        rounds = 5_000
+
+        def lookup():
+            sim.call_later(0.0002, serve)
+
+        def serve():
+            fired[0] += 1
+            if fired[0] < rounds:
+                sim.call_later(0.0008, lookup)
+
+        sim.call_later(0.0008, lookup)
+        sim.run()
+        return fired[0]
+
+    assert benchmark(run) == 5_000
+
+
+def test_bucketed_timeout_storm_throughput(benchmark):
+    """Timers landing beyond the calendar horizon (far-heap traffic).
+
+    Delays up to ~1000 s overflow the near-future window, so entries
+    migrate far heap -> calendar bucket -> current run as the clock
+    advances — the full two-level scheduler machinery.
+    """
+
+    def run():
+        sim = Simulator()
+        fired = [0]
+
+        def bump():
+            fired[0] += 1
+
+        for i in range(10_000):
+            sim.schedule_callback(float((i * 37) % 1009), bump)
+        sim.run()
+        return fired[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_sleep_pool_throughput(benchmark):
+    """Pooled one-shot timers: one process sleeping in a tight loop."""
+
+    def run():
+        sim = Simulator()
+        done = [0]
+        rounds = 10_000
+
+        def proc(sim):
+            for _ in range(rounds):
+                yield sim.sleep(0.001)
+                done[0] += 1
+
+        sim.process(proc(sim))
+        sim.run()
+        return done[0]
+
+    assert benchmark(run) == 10_000

@@ -34,6 +34,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -304,6 +305,55 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=3600.0,
         help="seconds between stream events (default 3600)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="kernel + replay benchmarks; writes BENCH_*.json",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads (CI smoke: seconds, not minutes)",
+    )
+    bench.add_argument(
+        "--kernel-only", action="store_true", help="skip the replay benchmarks"
+    )
+    bench.add_argument(
+        "--replay-only", action="store_true", help="skip the kernel benchmarks"
+    )
+    bench.add_argument(
+        "--out-dir",
+        default=".",
+        metavar="DIR",
+        help="where BENCH_kernel.json / BENCH_replay.json are written",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="PATH",
+        help="baseline BENCH JSON; exit non-zero on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed slowdown fraction for --compare (default 0.15)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="take best-of-N per kernel benchmark (default 3)",
+    )
+    bench.add_argument(
+        "--profile",
+        metavar="NAME",
+        nargs="?",
+        const="sleep_storm",
+        help="profile one kernel workload (cProfile, or pyinstrument "
+        "when installed) instead of benchmarking",
     )
     return parser
 
@@ -591,6 +641,63 @@ def _cmd_analyze(args, out) -> int:
     return 0
 
 
+def _cmd_bench(args, out) -> int:
+    import os
+
+    from . import bench as benchmod
+
+    if args.profile:
+        if args.profile not in benchmod.KERNEL_BENCHMARKS:
+            names = ", ".join(sorted(benchmod.KERNEL_BENCHMARKS))
+            print(f"unknown benchmark {args.profile!r}; one of: {names}", file=out)
+            return 2
+        benchmod.profile_kernel(args.profile, out=out)
+        return 0
+
+    tolerance = (
+        args.tolerance if args.tolerance is not None else benchmod.DEFAULT_TOLERANCE
+    )
+    os.makedirs(args.out_dir, exist_ok=True)
+    kernel_payload = None
+    if not args.replay_only:
+        kernel = benchmod.run_kernel_benchmarks(
+            quick=args.quick, repeats=args.repeats
+        )
+        kernel_payload = benchmod.bench_payload("kernel", kernel)
+        path = os.path.join(args.out_dir, "BENCH_kernel.json")
+        benchmod.write_payload(path, kernel_payload)
+        print(f"wrote {path}", file=out)
+        for name, b in kernel.items():
+            print(f"  {name:24s} {b['events_per_sec']:>12,.0f} events/s", file=out)
+    if not args.kernel_only:
+        replay = benchmod.run_replay_benchmarks(quick=args.quick)
+        replay_payload = benchmod.bench_payload("replay", replay)
+        path = os.path.join(args.out_dir, "BENCH_replay.json")
+        benchmod.write_payload(path, replay_payload)
+        print(f"wrote {path}", file=out)
+        for name, b in replay.items():
+            print(f"  {name:24s} {b['requests_per_sec']:>12,.0f} requests/s", file=out)
+
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        subject = kernel_payload
+        if subject is None or baseline.get("kind") == "replay":
+            print("--compare needs a kernel run and a kernel baseline", file=out)
+            return 2
+        failures = benchmod.compare_bench(subject, baseline, tolerance=tolerance)
+        if failures:
+            print(f"PERF REGRESSION vs {args.compare}:", file=out)
+            for failure in failures:
+                print(f"  {failure}", file=out)
+            return 1
+        print(
+            f"no regression vs {args.compare} (tolerance -{tolerance:.0%})",
+            file=out,
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -604,5 +711,6 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "summarize": _cmd_summarize,
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
+        "bench": _cmd_bench,
     }[args.command]
     return handler(args, out)

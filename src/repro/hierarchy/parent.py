@@ -120,7 +120,7 @@ class ParentProxy:
 
     def _serve(self, request: HttpRequest):
         sim = self.sim
-        yield sim.timeout(self.costs.cpu_lookup)
+        yield sim.sleep(self.costs.cpu_lookup)
         # Remember the child's interest so invalidations reach it.
         self.interest.register(
             request.url, request.client_id, proxy=request.src, now=sim.now
@@ -136,17 +136,19 @@ class ParentProxy:
         self.requests_served += 1
         if request.is_ims and entry.last_modified <= request.ims_timestamp:
             self.network.send(
-                make_reply_304(request, entry.last_modified, wire=self.wire)
+                make_reply_304(request, entry.last_modified, wire=self.wire),
+                wait=False,
             )
         else:
-            yield sim.timeout(self.costs.cpu_serve_per_kb * entry.size / 1024.0)
+            yield sim.sleep(self.costs.cpu_serve_per_kb * entry.size / 1024.0)
             self.network.send(
                 make_reply_200(
                     request,
                     body_bytes=entry.size,
                     last_modified=entry.last_modified,
                     wire=self.wire,
-                )
+                ),
+                wait=False,
             )
 
     def _refresh(self, url: str, stale_entry):
@@ -212,7 +214,7 @@ class ParentProxy:
             fetched_at=sim.now,
         )
         self.cache.put(entry, sim.now)
-        yield sim.timeout(self.costs.cpu_insert)
+        yield sim.sleep(self.costs.cpu_insert)
         return entry
 
     # ------------------------------------------------------------------

@@ -87,11 +87,15 @@ class Network:
         latency: Optional[LatencyModel] = None,
         stats: Optional[NetworkStats] = None,
         connect_timeout: float = 3.0,
+        fast_sends: bool = True,
     ) -> None:
         self.sim = sim
         self.latency = latency or LanModel()
         self.stats = stats or NetworkStats()
         self.connect_timeout = connect_timeout
+        #: Allow the zero-allocation route for ``send(..., wait=False)``.
+        #: Disabled by the differential tests to force the general path.
+        self.fast_sends = fast_sends
         self._handlers: Dict[Address, Callable[[Message], None]] = {}
         self._down: Set[Address] = set()
         self._partitions: Dict[int, Tuple[frozenset, frozenset]] = {}
@@ -193,14 +197,57 @@ class Network:
 
     # -- transport ------------------------------------------------------------
 
-    def send(self, message: Message) -> Event:
+    def _deliver_nowait(self, message: Message) -> None:
+        """Delivery leg of the fire-and-forget route (no outcome event)."""
+        if message.dst in self._down:
+            self.stats.record_loss(message, "destination died in flight")
+            return
+        if not self.is_reachable(message.src, message.dst):
+            self.stats.record_loss(message, "partition formed in flight")
+            return
+        self.stats.record_delivery(message)
+        self._handlers[message.dst](message)
+
+    def _drop_nowait(self, message: Message) -> None:
+        """Connect-timeout leg of the fire-and-forget route."""
+        self.stats.record_drop(message)
+
+    def send(self, message: Message, wait: bool = True) -> Optional[Event]:
         """Send a message; returns an event tracking the outcome.
 
         The event succeeds with the message at delivery time, or fails with
         :class:`Unreachable` after the connect timeout.  The failure is
         pre-defused: senders that do not wait on the event are not crashed
         by it (the channel layer is the place for retry logic).
+
+        ``wait=False`` declares that the caller discards the outcome
+        (fire-and-forget).  When no link fault or tracer is attached the
+        send then takes a zero-allocation route — one pooled callback
+        entry, no :class:`Event` construction — and returns ``None``.
+        Stats, delivery-time reachability re-checks and timing are
+        identical to the general path; only the no-op processing of the
+        unobserved outcome event disappears, so replay results are
+        unchanged event-for-event.
         """
+        if (
+            not wait
+            and self.fast_sends
+            and self.sim._tracer is None
+            and not self._link_faults
+        ):
+            if message.dst not in self._handlers or (
+                message.src in self._down
+                or message.dst in self._down
+                or not self.is_reachable(message.src, message.dst)
+            ):
+                self.sim.call_later(self.connect_timeout, self._drop_nowait, message)
+                return None
+            self.stats.record_send(message)
+            self.sim.call_later(
+                self.latency.delay(message), self._deliver_nowait, message
+            )
+            return None
+
         outcome = Event(self.sim)
 
         def fail(reason: str, delay: float, lost: bool = False) -> None:

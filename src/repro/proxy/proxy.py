@@ -209,39 +209,54 @@ class ProxyCache:
         """
         sim = self.sim
         outcome = RequestOutcome(url=url, client_id=client_id, started=sim.now)
-        yield sim.timeout(self.costs.cpu_lookup)
+        yield sim.sleep(self.costs.cpu_lookup)
+        entry, action = self._lookup(client_id, url)
+        outcome.had_cached_copy = entry is not None
+        return (yield from self._finish(entry, action, outcome))
 
+    def _lookup(self, client_id: str, url: str):
+        """Post-lookup-delay decision: ``(entry, action)``.
+
+        ``action`` is ``"serve"``, ``"validate"``, ``"fill"`` or
+        ``"down"``; ``entry`` is the cached copy (``None`` for fill/down).
+        """
+        if not self.up:
+            # A dead host serves nobody; its browsers see the outage.
+            return None, "down"
+        entry = self.cache.get(entry_key(url, client_id), self.sim.now)
+        if entry is None:
+            return None, "fill"
+        if entry.questionable:
+            return entry, "validate"
+        # The policy judges freshness on the host's own clock, which may
+        # be skewed (chaos fault): lease/TTL expiry shifts by clock_skew
+        # on this host.
+        action = self.policy.action(entry, self.sim.now + self.clock_skew)
+        if action not in ("serve", "validate"):
+            raise ValueError(f"policy returned unknown action {action!r}")
+        return entry, action
+
+    def _finish(self, entry, action: str, outcome: RequestOutcome):
+        """General path for a looked-up request (generator)."""
         try:
-            if not self.up:
-                # A dead host serves nobody; its browsers see the outage.
+            if action == "down":
                 raise RequestFailed(f"proxy {self.address} is down")
-            entry = self.cache.get(entry_key(url, client_id), sim.now)
-            outcome.had_cached_copy = entry is not None
-
-            if entry is None:
-                yield from self._fill(client_id, url, outcome)
+            if action == "fill":
+                yield from self._fill(outcome.client_id, outcome.url, outcome)
+            elif action == "serve":
+                yield from self._serve_cached(entry, outcome)
             else:
-                action = (
-                    "validate"
-                    if entry.questionable
-                    # The policy judges freshness on the host's own clock,
-                    # which may be skewed (chaos fault): lease/TTL expiry
-                    # shifts by clock_skew on this host.
-                    else self.policy.action(entry, sim.now + self.clock_skew)
-                )
-                if action == "serve":
-                    yield from self._serve_cached(entry, outcome)
-                elif action == "validate":
-                    if entry.questionable:
-                        self.questionable_validations += 1
-                    yield from self._validate(entry, outcome)
-                else:
-                    raise ValueError(f"policy returned unknown action {action!r}")
+                if entry.questionable:
+                    self.questionable_validations += 1
+                yield from self._validate(entry, outcome)
         except RequestFailed:
             outcome.failed = True
             self.failed_requests += 1
+        return self._complete(outcome)
 
-        outcome.finished = sim.now
+    def _complete(self, outcome: RequestOutcome) -> RequestOutcome:
+        """Shared request epilogue (both the general and fast paths)."""
+        outcome.finished = self.sim.now
         outcome.hit = (not outcome.failed) and self.policy.is_hit(outcome)
         if (
             self.meter is not None
@@ -250,11 +265,68 @@ class ProxyCache:
         ):
             # Locally-served hit the origin never saw: meter it for the
             # next piggybacked report.
-            self.meter.record(url)
+            self.meter.record(outcome.url)
         return outcome
 
+    # -- zero-allocation fast path ------------------------------------------
+
+    def fast_path_ok(self) -> bool:
+        """True when the callback-chain request route may be used.
+
+        Any attached observer (consistency auditor), hit meter or event
+        tracer forces the general generator path so those instruments see
+        exactly the event stream they were written against.
+        """
+        return (
+            self.observer is None
+            and self.meter is None
+            and self.sim._tracer is None
+        )
+
+    def serve_delay(self, entry: CacheEntry) -> float:
+        """CPU seconds to push a cached copy to the browser."""
+        return self.costs.cpu_serve_per_kb * entry.size / 1024.0
+
+    def request_fast(self, client_id: str, url: str, on_done, on_handoff) -> None:
+        """Callback-chain twin of :meth:`request` (no events, no process).
+
+        Cache hits (and down-proxy failures) complete entirely on pooled
+        callback entries: ``on_done(outcome)`` fires after the same
+        lookup/serve delays the generator path pays.  Requests that need
+        the network call ``on_handoff(entry, action, outcome)`` at the
+        decision point so the caller can run :meth:`_finish` in a
+        process.  Timing and side-effect order are identical to the
+        general path; only the Timeout/Event machinery of the hit flow is
+        skipped.  Callers must check :meth:`fast_path_ok` first.
+        """
+        outcome = RequestOutcome(url=url, client_id=client_id, started=self.sim.now)
+        self.sim.call_later(
+            self.costs.cpu_lookup, self._fast_lookup, outcome, on_done, on_handoff
+        )
+
+    def _fast_lookup(self, outcome: RequestOutcome, on_done, on_handoff) -> None:
+        entry, action = self._lookup(outcome.client_id, outcome.url)
+        outcome.had_cached_copy = entry is not None
+        if action == "serve":
+            self.sim.call_later(
+                self.serve_delay(entry), self._fast_serve, entry, outcome, on_done
+            )
+        elif action == "down":
+            outcome.failed = True
+            self.failed_requests += 1
+            on_done(self._complete(outcome))
+        else:
+            on_handoff(entry, action, outcome)
+
+    def _fast_serve(self, entry: CacheEntry, outcome: RequestOutcome, on_done) -> None:
+        self._complete_serve(entry, outcome)
+        on_done(self._complete(outcome))
+
     def _serve_cached(self, entry: CacheEntry, outcome: RequestOutcome):
-        yield self.sim.timeout(self.costs.cpu_serve_per_kb * entry.size / 1024.0)
+        yield self.sim.sleep(self.serve_delay(entry))
+        self._complete_serve(entry, outcome)
+
+    def _complete_serve(self, entry: CacheEntry, outcome: RequestOutcome) -> None:
         outcome.served_from_cache = True
         outcome.body_bytes = entry.size
         if self.oracle is not None and not outcome.validated:
@@ -284,7 +356,7 @@ class ProxyCache:
         outcome.fetched = True
         response = yield from self._roundtrip(request)
         self._insert_from_response(response, client_id)
-        yield self.sim.timeout(self.costs.cpu_insert)
+        yield self.sim.sleep(self.costs.cpu_insert)
         outcome.status = response.status
         outcome.transfer = True
         outcome.body_bytes = response.body_bytes
@@ -320,7 +392,7 @@ class ProxyCache:
             # New version: replace the cached copy and serve the new body.
             self.cache.remove(entry.key)
             self._insert_from_response(response, entry.client_id)
-            yield self.sim.timeout(self.costs.cpu_insert)
+            yield self.sim.sleep(self.costs.cpu_insert)
             outcome.transfer = True
             outcome.body_bytes = response.body_bytes
 

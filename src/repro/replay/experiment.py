@@ -98,6 +98,11 @@ class ExperimentConfig:
         audit: attach the strong-consistency auditor
             (:class:`repro.chaos.ConsistencyAuditor`) and publish its
             verdict in ``result.chaos``.
+        fast_path: use the zero-allocation kernel fast paths (pooled
+            callback chains for cache hits, fire-and-forget network
+            sends).  Results are event-for-event identical either way —
+            ``tests/test_differential_fastpath.py`` proves it; the flag
+            exists so that proof has a lever to pull.
     """
 
     trace: Trace
@@ -122,6 +127,7 @@ class ExperimentConfig:
     iostat_period: float = 60.0
     fault_schedule: Optional[object] = None
     audit: bool = False
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.mean_lifetime <= 0:
@@ -230,7 +236,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     # Scale *time* by the document-size scale, keep byte accounting full.
     latency_model = config.latency_model or LanModel(size_scale=config.size_scale)
-    network = Network(sim, latency=latency_model)
+    network = Network(sim, latency=latency_model, fast_sends=config.fast_path)
     scaled_server_costs = dataclasses.replace(
         config.server_costs,
         cpu_per_kb=config.server_costs.cpu_per_kb / config.size_scale,
@@ -304,6 +310,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 counters,
                 think_time=config.think_time,
                 rng=rng.stream(f"think-{i}"),
+                fast=config.fast_path,
             )
         )
 
@@ -364,7 +371,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             filestore.modify(mod.url, now=sim.now)
             notify_change(mod.url)
             if config.modifier_overhead > 0:
-                yield sim.timeout(config.modifier_overhead)
+                yield sim.sleep(config.modifier_overhead)
 
     modifier_participant.next = 0
 

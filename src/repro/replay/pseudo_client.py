@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..metrics import ReplayCounters
 from ..proxy import ProxyCache
+from ..sim.core import URGENT, Event
 from ..traces import TraceRecord
 
 __all__ = ["PseudoClient", "shard_for_client", "shard_records"]
@@ -53,6 +54,7 @@ class PseudoClient:
         counters: ReplayCounters,
         think_time: float = 1.0,
         rng: random.Random = None,
+        fast: bool = True,
     ) -> None:
         if think_time < 0:
             raise ValueError("think_time must be non-negative")
@@ -61,7 +63,12 @@ class PseudoClient:
         self.counters = counters
         self.think_time = think_time
         self.rng = rng or random.Random(0)
+        #: Drive cache hits through the proxy's callback chain instead of
+        #: generator resumption (identical results; see request_fast).
+        self.fast = fast
         self._next = 0
+        self._interval_end = 0.0
+        self._handoff: Optional[Event] = None
 
     @property
     def remaining(self) -> int:
@@ -74,6 +81,11 @@ class PseudoClient:
         Issues each request, waits for the reply, records the outcome,
         then pays the driver overhead before the next request.
         """
+        if self.fast and self.proxy.fast_path_ok():
+            return self._fast_participant(trace_start, trace_end)
+        return self._general_participant(trace_start, trace_end)
+
+    def _general_participant(self, trace_start: float, trace_end: float):
         sim = self.proxy.sim
         while self._next < len(self.records):
             record = self.records[self._next]
@@ -83,4 +95,60 @@ class PseudoClient:
             outcome = yield from self.proxy.request(record.client, record.url)
             self.counters.record(outcome)
             if self.think_time > 0:
-                yield sim.timeout(self.rng.uniform(0.5, 1.5) * self.think_time)
+                yield sim.sleep(self.rng.uniform(0.5, 1.5) * self.think_time)
+
+    # -- fast driver --------------------------------------------------------
+    #
+    # Cache hits run entirely on pooled callback entries (request_fast);
+    # the generator below only wakes up for requests that need the
+    # network, via a handoff event succeeded at URGENT priority so the
+    # general path resumes with nothing processed in between — the same
+    # position the inline ``yield from`` would have run at.
+
+    def _fast_participant(self, trace_start: float, trace_end: float):
+        sim = self.proxy.sim
+        self._interval_end = trace_end
+        while True:
+            self._handoff = Event(sim)
+            self._issue_next()
+            item = yield self._handoff
+            if item is None:
+                return
+            entry, action, outcome = item
+            outcome = yield from self.proxy._finish(entry, action, outcome)
+            self.counters.record(outcome)
+            if self.think_time > 0:
+                yield sim.sleep(self.rng.uniform(0.5, 1.5) * self.think_time)
+
+    def _issue_next(self) -> None:
+        """Start the next record's request, or end the interval."""
+        if self._next < len(self.records):
+            record = self.records[self._next]
+            if record.timestamp < self._interval_end:
+                self._next += 1
+                self.proxy.request_fast(
+                    record.client, record.url, self._on_done, self._on_handoff
+                )
+                return
+        self._signal(None)
+
+    def _on_done(self, outcome) -> None:
+        """A request completed on the callback chain (hit or down)."""
+        self.counters.record(outcome)
+        if self.think_time > 0:
+            delay = self.rng.uniform(0.5, 1.5) * self.think_time
+            self.proxy.sim.call_later(delay, self._issue_next)
+        else:
+            self._issue_next()
+
+    def _on_handoff(self, entry, action, outcome) -> None:
+        self._signal((entry, action, outcome))
+
+    def _signal(self, value) -> None:
+        # Succeed the handoff at URGENT so the parked generator resumes
+        # before any same-time NORMAL entry, exactly where the inline
+        # continuation would have run.
+        event = self._handoff
+        event._ok = True
+        event._value = value
+        event.sim._enqueue(event, URGENT)

@@ -154,7 +154,7 @@ class ServerSite:
             yield admit
             with self.cpu.request() as cpu:
                 yield cpu
-                yield sim.timeout(costs.cpu_accept)
+                yield sim.sleep(costs.cpu_accept)
 
         # Parse + accelerator bookkeeping.
         with self.cpu.request() as cpu:
@@ -162,7 +162,7 @@ class ServerSite:
             cost = costs.cpu_parse
             if self.accel.invalidation:
                 cost += costs.cpu_sitelist
-            yield sim.timeout(cost)
+            yield sim.sleep(cost)
 
         self.ledger.record_request(request.url)
         if request.reported_hits:
@@ -186,11 +186,11 @@ class ServerSite:
             # Full transfer: read the document from disk, build the reply.
             with self.disk.request() as disk:
                 yield disk
-                yield sim.timeout(costs.disk_fetch(doc.size))
+                yield sim.sleep(costs.disk_fetch(doc.size))
             self.disk_reads += 1
             with self.cpu.request() as cpu:
                 yield cpu
-                yield sim.timeout(costs.cpu_reply(doc.size))
+                yield sim.sleep(costs.cpu_reply(doc.size))
             reply = make_reply_200(
                 request,
                 body_bytes=doc.size,
@@ -202,7 +202,7 @@ class ServerSite:
         else:
             with self.cpu.request() as cpu:
                 yield cpu
-                yield sim.timeout(costs.cpu_reply(0))
+                yield sim.sleep(costs.cpu_reply(0))
             reply = make_reply_304(
                 request,
                 last_modified=doc.last_modified,
@@ -221,11 +221,11 @@ class ServerSite:
         # All three approaches log incoming requests (paper Section 5.2).
         with self.disk.request() as disk:
             yield disk
-            yield sim.timeout(costs.disk_log_write)
+            yield sim.sleep(costs.disk_log_write)
         self.disk_writes += 1
 
         self.requests_handled += 1
-        self.network.send(reply)
+        self.network.send(reply, wait=False)
 
     def _register_site(self, request: HttpRequest):
         """Record the requesting site in the invalidation table.
@@ -265,7 +265,7 @@ class ServerSite:
         if self.known_sites.record(request.client_id, request.src):
             with self.disk.request() as disk:
                 yield disk
-                yield self.sim.timeout(self.costs.disk_sitelog_write)
+                yield self.sim.sleep(self.costs.disk_sitelog_write)
             self.disk_writes += 1
         if not self.accel.grant_leases:
             return None
@@ -366,7 +366,7 @@ class ServerSite:
                 for proxy, client_ids in by_proxy.items():
                     with self.cpu.request() as cpu:
                         yield cpu
-                        yield sim.timeout(self.costs.cpu_invalidate_msg)
+                        yield sim.sleep(self.costs.cpu_invalidate_msg)
                     message = make_invalidate_multi(
                         self.address, proxy, url, client_ids, wire=self.wire
                     )
@@ -383,7 +383,7 @@ class ServerSite:
                 for entry in entries:
                     with self.cpu.request() as cpu:
                         yield cpu
-                        yield sim.timeout(self.costs.cpu_invalidate_msg)
+                        yield sim.sleep(self.costs.cpu_invalidate_msg)
                     message = make_invalidate_url(
                         self.address, entry.proxy, url, entry.client_id,
                         wire=self.wire,
@@ -424,7 +424,7 @@ class ServerSite:
         if server_inval:
             with self.cpu.request() as cpu:
                 yield cpu
-                yield sim.timeout(self.costs.cpu_invalidate_msg)
+                yield sim.sleep(self.costs.cpu_invalidate_msg)
             message = make_invalidate_server(
                 self.address, proxy, server=self.address, wire=self.wire
             )
@@ -438,7 +438,7 @@ class ServerSite:
         for url, cid in pairs:
             with self.cpu.request() as cpu:
                 yield cpu
-                yield sim.timeout(self.costs.cpu_invalidate_msg)
+                yield sim.sleep(self.costs.cpu_invalidate_msg)
             message = make_invalidate_url(
                 self.address, proxy, url, cid, wire=self.wire
             )
@@ -522,7 +522,7 @@ class ServerSite:
         for proxy in proxies:
             with self.cpu.request() as cpu:
                 yield cpu
-                yield sim.timeout(self.costs.cpu_invalidate_msg)
+                yield sim.sleep(self.costs.cpu_invalidate_msg)
             message = make_invalidate_server(
                 self.address, proxy, server=self.address, wire=self.wire
             )

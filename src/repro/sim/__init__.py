@@ -16,6 +16,7 @@ Public surface::
 """
 
 from .core import (
+    Callback,
     Event,
     Interrupt,
     SimulationError,
@@ -32,6 +33,7 @@ __all__ = [
     "Simulator",
     "Event",
     "Timeout",
+    "Callback",
     "Process",
     "Interrupt",
     "SimulationError",

@@ -8,16 +8,50 @@ scratch so the repository has no third-party runtime dependencies.
 Determinism: events scheduled for the same simulated time are processed in
 (priority, insertion-order) order, so a run is exactly reproducible given
 the same seed and the same sequence of API calls.
+
+Scheduler layout (the replay hot path schedules almost everything at
+``now + small delta``):
+
+* a *near-future calendar*: ``num_buckets`` buckets of ``bucket_width``
+  simulated seconds each.  Scheduling into a future bucket is a plain list
+  append (O(1)); a bucket is sorted once, when the clock reaches it.
+* late arrivals into the *current* bucket go to a small binary heap.
+* everything beyond the calendar horizon goes to a *far heap* and migrates
+  into the calendar when the horizon advances past it.
+
+All three structures hold ``(time, priority, seq, obj)`` tuples whose
+``(time, priority, seq)`` prefix is unique, so tuple comparison never
+reaches ``obj`` and the total order is identical to the single global
+heap this kernel used to run on.
+
+Allocation avoidance on the hot path:
+
+* :meth:`Simulator.call_later` schedules a plain function through a pooled
+  :class:`Callback` entry — no :class:`Event`, no callbacks list, no
+  generator resumption.
+* :meth:`Simulator.sleep` returns a pooled one-shot timeout for the
+  ubiquitous ``yield sim.sleep(delta)`` pattern; the event object is
+  recycled as soon as its callbacks have run.
+
+Both fall back to real :class:`Timeout` events while an
+:class:`~repro.sim.tracing.EventTracer` is attached, so traced runs keep
+seeing the event kinds they always did.
+
+Cancelled entries are discarded lazily when they surface, and the queue is
+compacted outright once cancelled entries outnumber live ones (mirroring
+the cache heap's ``note_expiry_update`` compaction), so long-lived runs
+with many abandoned reply timers keep a bounded queue.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, List, Optional
 
 __all__ = [
     "Event",
     "Timeout",
+    "Callback",
     "Simulator",
     "SimulationError",
     "Interrupt",
@@ -38,6 +72,12 @@ _PENDING = object()
 
 class SimulationError(Exception):
     """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class _QueueEmpty(IndexError):
+    """Internal: the event queue is exhausted (still an IndexError for
+    callers of :meth:`Simulator.step`, but distinguishable from an
+    IndexError raised by user callback code)."""
 
 
 class StopSimulation(Exception):
@@ -130,6 +170,8 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another (callback helper)."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
         self._ok = event._ok
         self._value = event._value
         self.sim._enqueue(self, NORMAL)
@@ -158,6 +200,7 @@ class Event:
             raise SimulationError("cannot cancel a processed event")
         self._cancelled = True
         self.callbacks = None
+        self.sim._note_cancel()
 
     # -- composition ------------------------------------------------------
 
@@ -197,6 +240,55 @@ class Timeout(Event):
         return f"<Timeout delay={self.delay!r}>"
 
 
+class _Sleep(Event):
+    """A pooled one-shot timeout (see :meth:`Simulator.sleep`).
+
+    Recycled by the event loop right after its callbacks run, so the
+    object must never be stored, composed (``AnyOf``/``AllOf``) or
+    cancelled — only yielded immediately by the scheduling process.
+    """
+
+    __slots__ = ()
+
+
+class Callback:
+    """A pooled queue entry that runs a plain function — no Event at all.
+
+    This is the zero-allocation fast path for fire-and-forget timers
+    (message delivery, cache-hit completion).  The handle supports
+    :meth:`cancel` but nothing else; it is recycled after firing, so it
+    must not be retained (and in particular not cancelled) once its
+    scheduled time has passed.
+    """
+
+    __slots__ = ("sim", "fn", "args", "_cancelled")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.fn: Optional[Callable[..., None]] = None
+        self.args: tuple = ()
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Make the pending callback inert (same contract as Event.cancel)."""
+        if not self._cancelled:
+            self._cancelled = True
+            self.fn = None
+            self.args = ()
+            self.sim._note_cancel()
+
+    def __repr__(self) -> str:
+        return f"<Callback {getattr(self.fn, '__name__', None)}>"
+
+
+#: Cap on each free list so a one-off burst cannot pin memory forever.
+_POOL_LIMIT = 1024
+
+#: Compact the queue once this many cancelled entries accumulate *and*
+#: they outnumber the live entries (see Simulator._note_cancel).
+_COMPACT_MIN_CANCELLED = 64
+
+
 class Simulator:
     """The event loop.
 
@@ -210,15 +302,58 @@ class Simulator:
 
         sim.process(worker(sim))
         sim.run()
+
+    Args:
+        start_time: initial simulated time.
+        bucket_width: span of one near-future calendar bucket, in
+            simulated seconds.
+        num_buckets: calendar length; times beyond
+            ``bucket_width * num_buckets`` in the future go to the far
+            heap until the horizon catches up.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        bucket_width: float = 0.5,
+        num_buckets: int = 256,
+    ) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
         self._now = float(start_time)
-        self._queue: List[Any] = []
         self._seq = 0
         self._active_process = None
         #: Optional EventTracer (see repro.sim.tracing).
         self._tracer = None
+
+        # -- two-level scheduler state --
+        self._width = float(bucket_width)
+        self._inv_width = 1.0 / self._width
+        self._nbuckets = num_buckets
+        #: Index of the bucket containing the clock (monotone).
+        self._cur_idx = int(self._now / self._width)
+        #: Upper time bound of the current bucket: anything scheduled
+        #: below it goes straight to the current heap (one float compare
+        #: on the hot path instead of a bucket-index computation).
+        self._cur_limit = (self._cur_idx + 1) * self._width
+        #: Sorted-descending entries of the current bucket (pop from end).
+        self._cur_run: List[tuple] = []
+        #: Heap of late arrivals into the current bucket.
+        self._cur_heap: List[tuple] = []
+        #: bucket index -> unsorted entry list, for (cur, cur + nbuckets).
+        self._buckets: dict = {}
+        #: Heap of entries beyond the calendar horizon.
+        self._far: List[tuple] = []
+        #: Total entries across all structures (including cancelled).
+        self._depth = 0
+        #: Cancelled entries still occupying queue slots.
+        self._cancelled_queued = 0
+
+        # -- free lists --
+        self._cb_pool: List[Callback] = []
+        self._sleep_pool: List[_Sleep] = []
 
     # -- inspection -------------------------------------------------------
 
@@ -232,16 +367,15 @@ class Simulator:
         """The process currently being resumed, if any."""
         return self._active_process
 
+    @property
+    def queue_depth(self) -> int:
+        """Entries currently occupying queue slots (cancelled included)."""
+        return self._depth
+
     def peek(self) -> float:
         """Time of the next live scheduled event, or ``float('inf')``."""
-        self._drop_cancelled_head()
-        return self._queue[0][0] if self._queue else float("inf")
-
-    def _drop_cancelled_head(self) -> None:
-        """Discard cancelled events from the front of the queue."""
-        queue = self._queue
-        while queue and queue[0][3]._cancelled:
-            heapq.heappop(queue)
+        entry = self._peek_live()
+        return entry[0] if entry is not None else float("inf")
 
     # -- event construction ------------------------------------------------
 
@@ -252,6 +386,27 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create a :class:`Timeout` triggering ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float) -> Event:
+        """Pooled one-shot timeout for ``yield sim.sleep(delta)``.
+
+        Identical queue behaviour to ``sim.timeout(delay)`` (one entry,
+        same priority, same insertion order) but the event object comes
+        from a free list and is recycled as soon as it is processed.  The
+        returned event must be yielded immediately and never stored,
+        composed or cancelled.  Falls back to a real :class:`Timeout`
+        while a tracer is attached.
+        """
+        if self._tracer is not None:
+            return Timeout(self, delay)
+        if delay < 0:
+            raise ValueError(f"negative sleep delay {delay!r}")
+        pool = self._sleep_pool
+        event = pool.pop() if pool else _Sleep(self)
+        event._ok = True
+        event._value = None
+        self._enqueue(event, NORMAL, delay)
+        return event
 
     def process(self, generator) -> "Process":
         """Start a new generator :class:`Process`."""
@@ -273,20 +428,216 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
 
+    def _schedule(self, entry: tuple) -> None:
+        """Route one queue entry into the calendar / current heap / far."""
+        bucket = int(entry[0] * self._inv_width)
+        if bucket <= self._cur_idx:
+            heappush(self._cur_heap, entry)
+        elif bucket < self._cur_idx + self._nbuckets:
+            lst = self._buckets.get(bucket)
+            if lst is None:
+                self._buckets[bucket] = [entry]
+            else:
+                lst.append(entry)
+        else:
+            heappush(self._far, entry)
+        self._depth += 1
+
     def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
         """Put a triggered event on the queue, ``delay`` seconds from now."""
+        # Hot path: _schedule inlined (every trigger/timeout lands here).
+        # The dominant schedule-at-now+δ case is one compare + heappush.
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        t = self._now + delay
+        entry = (t, priority, self._seq, event)
+        if t < self._cur_limit:
+            heappush(self._cur_heap, entry)
+        else:
+            bucket = int(t * self._inv_width)
+            if bucket < self._cur_idx + self._nbuckets:
+                lst = self._buckets.get(bucket)
+                if lst is None:
+                    self._buckets[bucket] = [entry]
+                else:
+                    lst.append(entry)
+            else:
+                heappush(self._far, entry)
+        self._depth += 1
 
-    def schedule_callback(self, delay: float, callback: Callable[[], None]) -> Event:
+    def call_later(self, delay: float, fn: Callable[..., None], *args) -> Any:
+        """Schedule ``fn(*args)`` after ``delay`` seconds — the fast path.
+
+        Uses a pooled :class:`Callback` queue entry: no :class:`Event`
+        construction, no callbacks list, no generator resumption.  Returns
+        a handle supporting ``cancel()``; the handle is recycled after the
+        callback fires and must not be retained past that point.  Falls
+        back to a :class:`Timeout` event while a tracer is attached (the
+        handle still supports ``cancel()``).
+        """
+        if self._tracer is not None:
+            event = Timeout(self, delay)
+            event.callbacks.append(lambda _evt, fn=fn, args=args: fn(*args))
+            return event
+        if delay < 0:
+            raise ValueError(f"negative callback delay {delay!r}")
+        pool = self._cb_pool
+        if pool:
+            cb = pool.pop()
+            cb._cancelled = False
+        else:
+            cb = Callback(self)
+        cb.fn = fn
+        cb.args = args
+        # Hot path: _schedule inlined (mirrors _enqueue).
+        self._seq += 1
+        t = self._now + delay
+        entry = (t, NORMAL, self._seq, cb)
+        if t < self._cur_limit:
+            heappush(self._cur_heap, entry)
+        else:
+            bucket = int(t * self._inv_width)
+            if bucket < self._cur_idx + self._nbuckets:
+                lst = self._buckets.get(bucket)
+                if lst is None:
+                    self._buckets[bucket] = [entry]
+                else:
+                    lst.append(entry)
+            else:
+                heappush(self._far, entry)
+        self._depth += 1
+        return cb
+
+    def schedule_callback(self, delay: float, callback: Callable[[], None]) -> Any:
         """Schedule a plain callable to run after ``delay`` seconds.
 
         Convenience wrapper used by non-process components (e.g. the network
-        fabric delivering messages).  Returns the underlying event.
+        fabric delivering messages).  Returns a cancellable handle (see
+        :meth:`call_later`).
         """
-        event = Timeout(self, delay)
-        event.callbacks.append(lambda _evt: callback())
-        return event
+        return self.call_later(delay, callback)
+
+    # -- queue internals ---------------------------------------------------
+
+    def _advance_bucket(self) -> None:
+        """Move the calendar window to the next non-empty bucket.
+
+        Raises :class:`IndexError` when nothing is scheduled anywhere.
+        """
+        buckets = self._buckets
+        far = self._far
+        if buckets:
+            self._cur_idx = min(buckets)
+        elif far:
+            self._cur_idx = int(far[0][0] * self._inv_width)
+        else:
+            raise _QueueEmpty("pop from an empty event queue")
+        self._cur_limit = (self._cur_idx + 1) * self._width
+        # Pull far-heap entries that the new horizon now covers.
+        horizon = (self._cur_idx + self._nbuckets) * self._width
+        while far and far[0][0] < horizon:
+            entry = heappop(far)
+            self._depth -= 1  # _schedule re-counts it
+            self._schedule(entry)
+        run = buckets.pop(self._cur_idx, None)
+        if run is not None:
+            # One sort per bucket; (time, priority, seq) is unique, so the
+            # comparison never reaches the object and the order is exactly
+            # the old global-heap order.
+            run.sort(reverse=True)
+            self._cur_run = run
+
+    def _peek_live(self) -> Optional[tuple]:
+        """Next live entry (discarding cancelled heads), or ``None``."""
+        while True:
+            run = self._cur_run
+            cur_heap = self._cur_heap
+            while run and run[-1][3]._cancelled:
+                run.pop()
+                self._depth -= 1
+                self._cancelled_queued -= 1
+            while cur_heap and cur_heap[0][3]._cancelled:
+                heappop(cur_heap)
+                self._depth -= 1
+                self._cancelled_queued -= 1
+            if run:
+                if cur_heap and cur_heap[0] < run[-1]:
+                    return cur_heap[0]
+                return run[-1]
+            if cur_heap:
+                return cur_heap[0]
+            if not self._buckets and not self._far:
+                return None
+            self._advance_bucket()
+
+    def _pop_live(self) -> tuple:
+        """Pop the next live entry directly (hot path for :meth:`step`)."""
+        cur_heap = self._cur_heap
+        run = self._cur_run
+        while True:
+            if run:
+                if cur_heap and cur_heap[0] < run[-1]:
+                    entry = heappop(cur_heap)
+                else:
+                    entry = run.pop()
+            elif cur_heap:
+                entry = heappop(cur_heap)
+            else:
+                self._advance_bucket()
+                run = self._cur_run
+                continue
+            self._depth -= 1
+            if entry[3]._cancelled:
+                self._cancelled_queued -= 1
+                continue
+            return entry
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping hook for Event/Callback.cancel: maybe compact.
+
+        Threshold-based compaction (mirroring the cache heap's
+        ``note_expiry_update`` compaction): once cancelled entries pass a
+        floor *and* outnumber live ones, rebuild the queue without them so
+        abandoned reply timers cannot grow it unboundedly.
+        """
+        self._cancelled_queued += 1
+        if (
+            self._cancelled_queued > _COMPACT_MIN_CANCELLED
+            and self._cancelled_queued * 2 > self._depth
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the queue structures with cancelled entries dropped."""
+        live: List[tuple] = []
+        for entry in self._cur_run:
+            if not entry[3]._cancelled:
+                live.append(entry)
+        for entry in self._cur_heap:
+            if not entry[3]._cancelled:
+                live.append(entry)
+        for bucket in self._buckets.values():
+            for entry in bucket:
+                if not entry[3]._cancelled:
+                    live.append(entry)
+        for entry in self._far:
+            if not entry[3]._cancelled:
+                live.append(entry)
+        self._cur_run = []
+        self._cur_heap = []
+        self._buckets = {}
+        self._far = []
+        self._depth = 0
+        self._cancelled_queued = 0
+        # Entries keep their (time, priority, seq) keys, so re-routing them
+        # preserves the processing order exactly.
+        for entry in live:
+            self._schedule(entry)
+
+    def _recycle_callback(self, cb: Callback) -> None:
+        cb.fn = None
+        cb.args = ()
+        if len(self._cb_pool) < _POOL_LIMIT:
+            self._cb_pool.append(cb)
 
     # -- execution ---------------------------------------------------------
 
@@ -296,8 +647,20 @@ class Simulator:
         Raises :class:`IndexError` if the queue is empty and re-raises any
         un-defused event failure.
         """
-        self._drop_cancelled_head()
-        self._now, _prio, _seq, event = heapq.heappop(self._queue)
+        entry = self._pop_live()
+        self._now = entry[0]
+        event = entry[3]
+
+        if type(event) is Callback:
+            # Direct-callback fast path: no Event machinery at all.
+            fn = event.fn
+            args = event.args
+            self._recycle_callback(event)
+            if self._tracer is not None:
+                self._tracer.observe(self._now, event)
+            fn(*args)
+            return
+
         if self._tracer is not None:
             self._tracer.observe(self._now, event)
 
@@ -311,26 +674,43 @@ class Simulator:
                 raise exc
             raise SimulationError(f"event failed with non-exception {exc!r}")
 
+        if type(event) is _Sleep and len(self._sleep_pool) < _POOL_LIMIT:
+            # The waiter has been resumed; the pooled timer is dead weight.
+            event._value = _PENDING
+            event._ok = True
+            event._defused = False
+            event._cancelled = False
+            event.callbacks = []
+            self._sleep_pool.append(event)
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue is exhausted or ``until`` is reached.
 
         If ``until`` is given, the clock is advanced exactly to ``until``
         even when no event is scheduled at that time.
         """
-        if until is not None and until < self._now:
+        if until is None:
+            # Tight loop: no peek, step() pops directly.  _QueueEmpty is
+            # private to the scheduler, so user-code IndexErrors propagate.
+            try:
+                step = self.step
+                while True:
+                    step()
+            except _QueueEmpty:
+                return
+            except StopSimulation:
+                return
+        if until < self._now:
             raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
         try:
             while True:
-                self._drop_cancelled_head()
-                if not self._queue:
-                    break
-                if until is not None and self._queue[0][0] > until:
+                entry = self._peek_live()
+                if entry is None or entry[0] > until:
                     break
                 self.step()
         except StopSimulation:
             return
-        if until is not None:
-            self._now = max(self._now, until)
+        self._now = max(self._now, until)
 
     def stop(self) -> None:
         """Stop :meth:`run` from inside a callback or process."""

@@ -150,3 +150,158 @@ def test_timeout_repr_mentions_delay():
 def test_event_repr():
     sim = Simulator()
     assert "Event" in repr(Event(sim))
+
+
+# ---------------------------------------------------------------------------
+# fast-path kernel additions: trigger guard, call_later, pooling, compaction
+# ---------------------------------------------------------------------------
+
+
+def test_trigger_on_already_triggered_raises():
+    # Regression: trigger() used to skip the already-triggered guard that
+    # succeed()/fail() have, silently overwriting the first value.
+    sim = Simulator()
+    src = sim.event().succeed("first")
+    dst = sim.event()
+    dst.trigger(src)
+    other = sim.event().succeed("second")
+    with pytest.raises(SimulationError):
+        dst.trigger(other)
+    assert dst.value == "first"
+
+
+def test_call_later_runs_in_time_order_with_events():
+    sim = Simulator()
+    order = []
+    sim.call_later(2.0, order.append, "cb2")
+    evt = sim.timeout(1.0, value="t1")
+    evt.callbacks.append(lambda e: order.append(e.value))
+    sim.call_later(3.0, order.append, "cb3")
+    sim.run()
+    assert order == ["t1", "cb2", "cb3"]
+    assert sim.now == 3.0
+
+
+def test_call_later_cancel_is_inert():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_later(1.0, fired.append, True)
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.now == 0.0  # cancelled slots never advance the clock
+
+
+def test_callback_handles_are_pooled():
+    sim = Simulator()
+    sim.call_later(1.0, lambda: None)
+    sim.run()
+    first = sim.call_later(1.0, lambda: None)
+    # The recycled handle is handed out again instead of a new allocation.
+    assert first in sim._cb_pool or not sim._cb_pool
+    sim.run()
+    second = sim.call_later(1.0, lambda: None)
+    assert second is first
+    sim.run()
+
+
+def test_sleep_events_are_pooled():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        for _ in range(3):
+            evt = sim.sleep(1.0)
+            seen.append(evt)
+            yield evt
+
+    sim.process(proc(sim))
+    sim.run()
+    assert sim.now == 3.0
+    # The process grabs its next timer while the previous one is still
+    # being stepped, so recycling shows up one sleep later: the third
+    # sleep reuses the first timer object.
+    assert seen[2] is seen[0]
+
+
+def test_sleep_matches_timeout_semantics():
+    sim = Simulator()
+    times = []
+
+    def proc(sim):
+        yield sim.sleep(1.5)
+        times.append(sim.now)
+        yield sim.timeout(0.5)
+        times.append(sim.now)
+        yield sim.sleep(0.0)
+        times.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert times == [1.5, 2.0, 2.0]
+
+
+def test_negative_sleep_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.sleep(-0.1)
+
+
+def test_negative_call_later_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.call_later(-0.1, lambda: None)
+
+
+def test_cancelled_timers_queue_stays_bounded():
+    # Regression: cancelled entries were only discarded when they reached
+    # the queue head, so a retry loop that cancels far-future timers on
+    # every iteration grew the queue without bound.  Threshold compaction
+    # keeps the depth proportional to the *live* entry count.
+    sim = Simulator()
+    live = sim.timeout(1e9)  # one live far-future event
+    max_depth = 0
+    for _ in range(5000):
+        handle = sim.call_later(1e6, lambda: None)
+        handle.cancel()
+        max_depth = max(max_depth, sim.queue_depth)
+    assert max_depth < 2 * 64 + 16  # bounded by the compaction floor
+    assert sim.queue_depth <= max_depth
+    assert not live.processed  # compaction never dropped the live event
+
+
+def test_compaction_preserves_processing_order():
+    sim = Simulator()
+    order = []
+    keep = []
+    for i in range(200):
+        handle = sim.call_later(float(i), order.append, i)
+        if i % 3 == 0:
+            keep.append(i)
+        else:
+            handle.cancel()
+    sim.run()
+    assert order == keep
+
+
+def test_far_horizon_events_fire_in_order():
+    # Delays far beyond the calendar window exercise the far heap and the
+    # migration path in _advance_bucket.
+    sim = Simulator()
+    order = []
+    delays = [0.5, 10_000.0, 3.0, 250.0, 100_000.0, 64.0]
+    for d in delays:
+        sim.call_later(d, order.append, d)
+    sim.run()
+    assert order == sorted(delays)
+    assert sim.now == max(delays)
+
+
+def test_queue_depth_counts_pending_entries():
+    sim = Simulator()
+    assert sim.queue_depth == 0
+    sim.timeout(1.0)
+    sim.call_later(2.0, lambda: None)
+    assert sim.queue_depth == 2
+    sim.run()
+    assert sim.queue_depth == 0
