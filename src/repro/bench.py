@@ -38,8 +38,10 @@ __all__ = [
     "run_kernel_benchmarks",
     "run_replay_benchmarks",
     "bench_payload",
+    "git_sha",
     "write_payload",
     "compare_bench",
+    "missing_baselines",
     "profile_kernel",
 ]
 
@@ -258,7 +260,12 @@ def run_replay_benchmarks(
 # payloads
 # ---------------------------------------------------------------------------
 
-def _git_sha() -> str:
+def git_sha() -> str:
+    """Short git SHA of the working tree's HEAD, or ``"unknown"``.
+
+    Shared provenance hook: benchmark payloads and the ``repro report``
+    run manifest both stamp their output with it.
+    """
     try:
         return (
             subprocess.run(
@@ -283,7 +290,7 @@ def bench_payload(kind: str, benchmarks: Dict[str, Dict[str, float]]) -> dict:
     return {
         "schema": SCHEMA_VERSION,
         "kind": kind,
-        "git_sha": _git_sha(),
+        "git_sha": git_sha(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "machine_score": round(calibrate_machine(), 3),
         "peak_rss_kb": peak_rss_kb(),
@@ -320,8 +327,10 @@ def compare_bench(
     new_score = float(new.get("machine_score") or 0) or None
     old_score = float(old.get("machine_score") or 0) or None
     normalise = new_score is not None and old_score is not None
-    for name, old_bench in old.get("benchmarks", {}).items():
-        new_bench = new.get("benchmarks", {}).get(name)
+    old_benchmarks = old.get("benchmarks") or {}
+    new_benchmarks = new.get("benchmarks") or {}
+    for name, old_bench in old_benchmarks.items():
+        new_bench = new_benchmarks.get(name)
         if new_bench is None:
             continue
         old_rate, new_rate = _rate_of(old_bench), _rate_of(new_bench)
@@ -336,6 +345,18 @@ def compare_bench(
                 f"({new_rate / old_rate - 1.0:+.1%}, tolerance -{tolerance:.0%})"
             )
     return failures
+
+
+def missing_baselines(new: dict, old: dict) -> List[str]:
+    """Benchmark variants in ``new`` that the baseline has no entry for.
+
+    A baseline written before a benchmark variant existed cannot gate
+    that variant; callers report those by name ("no baseline — new
+    variant") instead of failing.  Sorted for stable output.
+    """
+    old_names = set(old.get("benchmarks") or {})
+    new_names = set(new.get("benchmarks") or {})
+    return sorted(new_names - old_names)
 
 
 # ---------------------------------------------------------------------------

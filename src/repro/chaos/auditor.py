@@ -49,6 +49,7 @@ class ViolationRecord:
     staleness_age: float
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form for campaign reports."""
         return {
             "time": self.time,
             "kind": self.kind,

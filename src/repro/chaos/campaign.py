@@ -61,6 +61,7 @@ class ScheduleVerdict:
     violations: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form for campaign reports."""
         return dataclasses.asdict(self)
 
 
@@ -85,10 +86,12 @@ class CampaignReport:
 
     @property
     def total_violations(self) -> int:
+        """Strong-consistency violations summed across all schedules."""
         return sum(v.violation_count for v in self.verdicts)
 
     @property
     def total_stale_serves(self) -> int:
+        """Stale serves summed across all schedules."""
         return sum(v.stale_serves for v in self.verdicts)
 
     def allowed_staleness(self) -> Dict[str, int]:
@@ -100,6 +103,7 @@ class CampaignReport:
         return totals
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (the ``repro chaos --json`` payload)."""
         return {
             "protocol": self.protocol,
             "trace": self.trace_name,

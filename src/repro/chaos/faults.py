@@ -88,6 +88,7 @@ class Fault:
             raise ValueError("fault cannot start before the run")
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
         return {
             "kind": self.kind,
             "at": self.at,
@@ -98,6 +99,7 @@ class Fault:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Fault":
+        """Rebuild a fault from its :meth:`to_dict` form."""
         return cls(
             kind=data["kind"],
             at=float(data["at"]),
@@ -134,6 +136,7 @@ class FaultSchedule:
         return FaultSchedule(seed=self.seed, horizon=self.horizon, faults=faults)
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
         return {
             "seed": self.seed,
             "horizon": self.horizon,
@@ -142,6 +145,7 @@ class FaultSchedule:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultSchedule":
+        """Rebuild a schedule from its :meth:`to_dict` form."""
         return cls(
             seed=int(data["seed"]),
             horizon=float(data["horizon"]),
@@ -149,13 +153,16 @@ class FaultSchedule:
         )
 
     def to_json(self) -> str:
+        """Canonical JSON encoding (sorted keys, reproducer-friendly)."""
         return json.dumps(self.to_dict(), sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "FaultSchedule":
+        """Parse a schedule from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
 
     def describe(self) -> List[str]:
+        """One human-readable line per fault, in schedule order."""
         return [f.describe() for f in self.faults]
 
 

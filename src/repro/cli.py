@@ -13,6 +13,12 @@ Commands:
   strong-consistency auditor attached; violating schedules are shrunk
   to minimal reproducers.  Exits 1 if a strong protocol is caught
   serving stale bytes it should not have.
+* ``report``    — run (or load from checkpoints) the full five-trace x
+  three-protocol matrix and write ``RESULTS.md``: every paper table
+  side-by-side with the reproduction, percentage deltas, the Section 5.2
+  claims checklist, and a run manifest (git SHA, seed, digests).
+* ``trace``     — record a structured span timeline (JSONL) for one
+  experiment, or view/filter a previously recorded timeline.
 * ``summarize`` — print the Table 2 row for a synthetic or CLF trace.
 * ``generate``  — write a calibrated synthetic trace as a CLF log.
 * ``analyze``   — evaluate the Table 1 model on an r/m stream.
@@ -24,6 +30,11 @@ Examples::
     python -m repro sweep --trace SDSC --protocols polling,invalidation \\
         --lifetimes 2,25 --parallel 4 --checkpoint-dir out/ckpt --resume
     python -m repro table --table 3 --scale 0.1 --parallel 4
+    python -m repro report --scale 0.1 --parallel 4 --out RESULTS.md
+    python -m repro report --from-checkpoints out/ckpt --out RESULTS.md
+    python -m repro trace --trace EPA --protocol invalidation \\
+        --scale 0.05 --out spans.jsonl
+    python -m repro trace --view spans.jsonl --kind request --match miss
     python -m repro chaos --schedules 50 --seed 7 --protocol invalidation
     python -m repro summarize --trace NASA
     python -m repro summarize --clf /path/to/access_log
@@ -243,6 +254,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-proxy cache capacity in MB (default 64)",
     )
     add_parallel_args(table)
+
+    report = sub.add_parser(
+        "report",
+        help="write RESULTS.md: every paper table vs. this reproduction",
+    )
+    report.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="workload scale factor in (0, 1] (default 0.1)",
+    )
+    report.add_argument("--seed", type=int, default=42, help="master seed")
+    report.add_argument(
+        "--out",
+        default="RESULTS.md",
+        metavar="PATH",
+        help="where to write the report (default RESULTS.md; '-' = stdout)",
+    )
+    report.add_argument(
+        "--from-checkpoints",
+        metavar="DIR",
+        help="load the matrix from sweep checkpoints instead of replaying",
+    )
+    report.add_argument(
+        "--timestamp",
+        action="store_true",
+        help="stamp the manifest with the generation time (off by default "
+        "so committed reports regenerate diff-clean)",
+    )
+    report.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke: tiny matrix end to end, assert report invariants",
+    )
+    add_parallel_args(report)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="record or view a structured span timeline for one experiment",
+    )
+    add_replay_args(trace_p)
+    trace_p.add_argument(
+        "--protocol",
+        default="invalidation",
+        choices=sorted(PROTOCOL_FACTORIES),
+        help="consistency protocol",
+    )
+    trace_p.add_argument(
+        "--out",
+        metavar="PATH",
+        help="JSONL span file to write (record mode; default spans.jsonl)",
+    )
+    trace_p.add_argument(
+        "--sample",
+        type=float,
+        default=1.0,
+        metavar="FRAC",
+        help="deterministic per-kind span sampling rate in (0, 1] "
+        "(default 1.0 = keep everything)",
+    )
+    trace_p.add_argument(
+        "--deep",
+        action="store_true",
+        help="also attach the kernel event tracer (disables the "
+        "simulation fast paths for this run)",
+    )
+    trace_p.add_argument(
+        "--view",
+        metavar="FILE",
+        help="view a previously recorded span file instead of recording",
+    )
+    trace_p.add_argument(
+        "--kind", help="view filter: span kind (request/invalidation/run)"
+    )
+    trace_p.add_argument(
+        "--match",
+        help="view filter: substring of the span name or attributes",
+    )
+    trace_p.add_argument(
+        "--since", type=float, help="view filter: spans ending at/after this sim time"
+    )
+    trace_p.add_argument(
+        "--until", type=float, help="view filter: spans starting at/before this sim time"
+    )
+    trace_p.add_argument(
+        "--limit",
+        type=int,
+        default=50,
+        help="view: max timeline rows to print (default 50)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -544,6 +645,105 @@ def _cmd_table(args, out) -> int:
     return 0
 
 
+def _cmd_report(args, out) -> int:
+    import time as _time
+
+    from .obs.report import check_report, collect_report, render_report
+
+    if args.check:
+        return check_report(out=out)
+    generated = (
+        _time.strftime("%Y-%m-%dT%H:%M:%S%z") if args.timestamp else None
+    )
+    try:
+        data = collect_report(
+            scale=args.scale,
+            seed=args.seed,
+            runner=_make_runner(args),
+            from_checkpoints=args.from_checkpoints,
+            generated=generated,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except (ValueError, SweepPointFailed) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    text = render_report(data)
+    if args.out == "-":
+        print(text, file=out)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        manifest = data.manifest
+        print(
+            f"wrote {args.out} ({manifest['points']} matrix point(s), "
+            f"scale {data.scale:g}, seed {data.seed}, "
+            f"git {manifest['git_sha']}, "
+            f"results digest {manifest['results_digest']})",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    from .obs import (
+        MetricsRegistry,
+        Observation,
+        SpanSink,
+        filter_spans,
+        format_timeline,
+        read_spans,
+    )
+
+    if args.view:
+        spans = filter_spans(
+            read_spans(args.view),
+            kind=args.kind,
+            contains=args.match,
+            since=args.since,
+            until=args.until,
+        )
+        print(format_timeline(spans, limit=args.limit), file=out)
+        return 0
+
+    import dataclasses
+
+    path = args.out or "spans.jsonl"
+    try:
+        sink = SpanSink(path, sample=args.sample)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    observation = Observation(
+        registry=MetricsRegistry(), sink=sink, deep=args.deep
+    )
+    config = dataclasses.replace(
+        _make_config(args, PROTOCOL_FACTORIES[args.protocol]()),
+        observation=observation,
+    )
+    try:
+        run_experiment(config)
+    finally:
+        observation.close()
+    print(
+        f"wrote {sink.total_written} span(s) to {path} "
+        f"({sink.total_seen} seen, sample {args.sample:g}); "
+        f"{len(observation.registry)} metric series recorded",
+        file=out,
+    )
+    for kind in sorted(sink.counts):
+        print(
+            f"  {kind:14s} {sink.written[kind]:>8d} written / "
+            f"{sink.counts[kind]} seen",
+            file=out,
+        )
+    if args.deep and observation.tracer is not None:
+        print(
+            f"  deep: {observation.tracer.total} kernel event(s) traced",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_chaos(args, out) -> int:
     import json
 
@@ -685,6 +885,10 @@ def _cmd_bench(args, out) -> int:
         if subject is None or baseline.get("kind") == "replay":
             print("--compare needs a kernel run and a kernel baseline", file=out)
             return 2
+        # Variants the baseline predates cannot be gated; report them
+        # individually instead of erroring out on the whole run.
+        for name in benchmod.missing_baselines(subject, baseline):
+            print(f"  {name}: no baseline (new variant), not gated", file=out)
         failures = benchmod.compare_bench(subject, baseline, tolerance=tolerance)
         if failures:
             print(f"PERF REGRESSION vs {args.compare}:", file=out)
@@ -707,6 +911,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "table": _cmd_table,
+        "report": _cmd_report,
+        "trace": _cmd_trace,
         "chaos": _cmd_chaos,
         "summarize": _cmd_summarize,
         "generate": _cmd_generate,

@@ -68,6 +68,23 @@ class LatencyStats:
         index = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
         return ordered[index]
 
+    def summary(self) -> dict:
+        """JSON-compatible digest: mean/min/max plus reservoir percentiles.
+
+        The canonical flattened form used by result serialization
+        (:mod:`repro.replay.serialize`) and by metric-registry snapshots
+        (:meth:`repro.obs.MetricsRegistry.to_dict`).
+        """
+        return {
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "count": self.count,
+        }
+
     def state_dict(self) -> dict:
         """JSON-compatible full state (for checkpoint round-trips)."""
         return {

@@ -128,6 +128,35 @@ class NetworkStats:
         """Snapshot ``{category: delivered bytes}``."""
         return dict(self._bytes)
 
+    def publish(self, registry, **labels) -> None:
+        """Publish per-category wire accounting into a metrics registry.
+
+        Emits ``net_messages`` / ``net_bytes`` counters per message
+        category (the Table 3/4 rows), plus loss/duplicate counters when
+        a fault campaign produced any.  ``labels`` (e.g. ``protocol=``,
+        ``trace=``) are attached to every series.
+        """
+        for category, count in sorted(self._messages.items()):
+            registry.counter(
+                "net_messages", category=category, **labels
+            ).inc(count)
+        for category, size in sorted(self._bytes.items()):
+            registry.counter("net_bytes", category=category, **labels).inc(size)
+        for category, count in sorted(self._lost.items()):
+            if count:
+                registry.counter(
+                    "net_lost", category=category, **labels
+                ).inc(count)
+        for reason, count in sorted(self._lost_reasons.items()):
+            registry.counter("net_lost_by_reason", reason=reason, **labels).inc(
+                count
+            )
+        for category, count in sorted(self._duplicates.items()):
+            if count:
+                registry.counter(
+                    "net_duplicates", category=category, **labels
+                ).inc(count)
+
     def __repr__(self) -> str:
         return (
             f"NetworkStats(messages={self.total_messages}, "

@@ -159,6 +159,30 @@ class ProxyCache:
         self.clock_skew = 0.0
         network.register(address, self._receive)
 
+    def publish_metrics(self, registry, **labels) -> None:
+        """Publish this proxy's counters into a metrics registry.
+
+        One ``proxy_*`` counter per quantity, labelled with this proxy's
+        ``site`` address plus any caller-supplied ``labels`` (typically
+        ``protocol=``).  Cache occupancy is published as gauges.
+        """
+        site = self.address
+        for name, value in (
+            ("proxy_invalidations_received", self.invalidations_received),
+            ("proxy_server_invalidations_received",
+             self.server_invalidations_received),
+            ("proxy_piggyback_copies_removed", self.piggyback_copies_removed),
+            ("proxy_questionable_validations", self.questionable_validations),
+            ("proxy_failed_requests", self.failed_requests),
+        ):
+            registry.counter(name, site=site, **labels).inc(value)
+        registry.gauge("proxy_cache_entries", site=site, **labels).set(
+            len(self.cache)
+        )
+        registry.gauge("proxy_cache_bytes", site=site, **labels).set(
+            self.cache.used_bytes
+        )
+
     # ------------------------------------------------------------------
     # network receive path
     # ------------------------------------------------------------------

@@ -103,6 +103,13 @@ class ExperimentConfig:
             sends).  Results are event-for-event identical either way —
             ``tests/test_differential_fastpath.py`` proves it; the flag
             exists so that proof has a lever to pull.
+        observation: optional :class:`repro.obs.Observation` receiving
+            per-request metric series, lifecycle spans and end-of-run
+            aggregates.  A plain observation preserves the fast path and
+            changes no result; ``Observation(deep=True)`` additionally
+            traces every kernel event (slower, same results).  Not
+            picklable — use ``None`` (the default) with parallel sweep
+            runners and aggregate from checkpoints instead.
     """
 
     trace: Trace
@@ -128,6 +135,7 @@ class ExperimentConfig:
     fault_schedule: Optional[object] = None
     audit: bool = False
     fast_path: bool = True
+    observation: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.mean_lifetime <= 0:
@@ -216,14 +224,17 @@ class ExperimentResult:
 
     @property
     def avg_latency(self) -> float:
+        """Mean client-observed request latency, in seconds."""
         return self.counters.latency.mean
 
     @property
     def min_latency(self) -> float:
+        """Fastest observed request latency, in seconds."""
         return self.counters.latency.min
 
     @property
     def max_latency(self) -> float:
+        """Slowest observed request latency, in seconds."""
         return self.counters.latency.max
 
 
@@ -280,6 +291,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         ]
 
     counters = ReplayCounters()
+    observation = config.observation
     oracle = lambda url: filestore.get(url).last_modified  # noqa: E731
     shards = shard_records(trace.records, config.num_pseudo_clients)
     clients: List[PseudoClient] = []
@@ -303,11 +315,20 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             oracle=oracle,
         )
         proxies.append(proxy)
+        # The observation wrapper feeds the same ReplayCounters (results
+        # are untouched) and records from the one seam both the fast and
+        # the general client paths share, so observing keeps the
+        # zero-allocation fast path and bit-identical outcomes.
+        client_counters = (
+            observation.wrap_counters(counters, site=proxy.address)
+            if observation is not None
+            else counters
+        )
         clients.append(
             PseudoClient(
                 proxy,
                 shard,
-                counters,
+                client_counters,
                 think_time=config.think_time,
                 rng=rng.stream(f"think-{i}"),
                 fast=config.fast_path,
@@ -379,6 +400,18 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     for client in clients:
         coordinator.register(client.participant)
     coordinator.register(modifier_participant)
+
+    if observation is not None:
+        # Bound after the coordinator exists so phases can be derived
+        # from its trace clock (no events of its own are scheduled).
+        observation.bind(
+            sim,
+            protocol=protocol.name,
+            trace_name=trace.name,
+            coordinator=coordinator,
+            duration=trace.duration,
+        )
+        server.fanout_listener = observation.fanout_listener
 
     iostat = IostatSampler(sim, server, period=config.iostat_period)
     lease_controller = None
@@ -468,4 +501,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 for e in injector.log
             ]
         result.chaos = chaos
+    if observation is not None:
+        observation.finish(
+            sim=sim,
+            result=result,
+            network_stats=stats,
+            server=server,
+            proxies=proxies,
+            iostat=iostat,
+        )
     return result

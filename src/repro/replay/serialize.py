@@ -86,15 +86,7 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
         "body_bytes_from_cache": counters.body_bytes_from_cache,
         "body_bytes_transferred": counters.body_bytes_transferred,
     }
-    data["latency"] = {
-        "mean": counters.latency.mean,
-        "min": counters.latency.min,
-        "max": counters.latency.max,
-        "p50": counters.latency.percentile(50),
-        "p95": counters.latency.percentile(95),
-        "p99": counters.latency.percentile(99),
-        "count": counters.latency.count,
-    }
+    data["latency"] = counters.latency.summary()
     data["staleness"] = {
         "mean": counters.staleness.mean,
         "max": counters.staleness.max,

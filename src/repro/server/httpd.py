@@ -123,6 +123,11 @@ class ServerSite:
         self.invalidations_abandoned = 0
         #: Wall-clock seconds each modification's INVALIDATE fan-out took.
         self.invalidation_times: List[float] = []
+        #: Observability hook: ``fn(url, started, ended, num_entries)``
+        #: called after each INVALIDATE fan-out completes (see
+        #: :meth:`repro.obs.Observation.fanout_listener`).  ``None`` (the
+        #: default) costs nothing.
+        self.fanout_listener = None
 
         self.up = True
         network.register(address, self._receive)
@@ -400,6 +405,8 @@ class ServerSite:
             if hold is not None:
                 self.accept_lock.release(hold)
         self.invalidation_times.append(sim.now - started)
+        if self.fanout_listener is not None:
+            self.fanout_listener(url, started, sim.now, len(entries))
 
     def _abandon(self, url: str, proxy: str, client_ids: Iterable[str]) -> None:
         """Record an abandoned INVALIDATE and queue it for flush-on-contact.

@@ -75,6 +75,21 @@ class EventTracer:
             return 0.0
         return self.total / (self.last_time - self.first_time)
 
+    def publish(self, registry, **labels) -> None:
+        """Publish per-event-type counts into a metrics registry.
+
+        Emits one ``sim_events`` counter per processed event type plus a
+        ``sim_events_per_sim_second`` gauge; ``labels`` are attached to
+        every series.  This is how ``Observation(deep=True)`` folds the
+        kernel's event stream into the same registry the replay metrics
+        live in.
+        """
+        for kind, count in sorted(self.counts.items()):
+            registry.counter("sim_events", kind=kind, **labels).inc(count)
+        registry.gauge("sim_events_per_sim_second", **labels).set(
+            self.events_per_sim_second()
+        )
+
     def summary(self) -> str:
         """Human-readable one-screen digest."""
         lines = [f"{self.total} events over "

@@ -1,0 +1,84 @@
+"""Tests for the benchmark regression gate (repro.bench comparisons)."""
+
+from repro.bench import compare_bench, git_sha, missing_baselines
+
+
+def payload(benchmarks, machine_score=1.0):
+    return {
+        "schema": 1,
+        "kind": "kernel",
+        "machine_score": machine_score,
+        "benchmarks": benchmarks,
+    }
+
+
+def bench(rate):
+    return {"events_per_sec": rate}
+
+
+class TestCompareBench:
+    def test_no_regression(self):
+        new = payload({"a": bench(1000.0), "b": bench(500.0)})
+        old = payload({"a": bench(1000.0), "b": bench(500.0)})
+        assert compare_bench(new, old) == []
+
+    def test_regression_detected(self):
+        new = payload({"a": bench(500.0)})
+        old = payload({"a": bench(1000.0)})
+        failures = compare_bench(new, old, tolerance=0.15)
+        assert len(failures) == 1
+        assert "a:" in failures[0]
+
+    def test_slowdown_within_tolerance_passes(self):
+        new = payload({"a": bench(900.0)})
+        old = payload({"a": bench(1000.0)})
+        assert compare_bench(new, old, tolerance=0.15) == []
+
+    def test_baseline_missing_new_variant_no_error(self):
+        # A baseline written before a benchmark variant existed must not
+        # crash the gate; the new variant is simply not gated.
+        new = payload({"a": bench(1000.0), "brand_new": bench(10.0)})
+        old = payload({"a": bench(1000.0)})
+        assert compare_bench(new, old) == []
+
+    def test_new_run_missing_old_variant_skipped(self):
+        new = payload({"a": bench(1000.0)})
+        old = payload({"a": bench(1000.0), "retired": bench(5.0)})
+        assert compare_bench(new, old) == []
+
+    def test_machine_score_normalisation(self):
+        # Same normalised rate on a half-speed machine: not a regression.
+        new = payload({"a": bench(500.0)}, machine_score=0.5)
+        old = payload({"a": bench(1000.0)}, machine_score=1.0)
+        assert compare_bench(new, old) == []
+
+    def test_malformed_baseline_tolerated(self):
+        new = payload({"a": bench(1000.0)})
+        assert compare_bench(new, {}) == []
+        assert compare_bench(new, {"benchmarks": None}) == []
+        assert compare_bench({}, payload({"a": bench(1.0)})) == []
+
+
+class TestMissingBaselines:
+    def test_names_new_variants_sorted(self):
+        new = payload({"zeta": bench(1.0), "alpha": bench(2.0),
+                       "old": bench(3.0)})
+        old = payload({"old": bench(3.0)})
+        assert missing_baselines(new, old) == ["alpha", "zeta"]
+
+    def test_empty_when_baseline_covers_all(self):
+        new = payload({"a": bench(1.0)})
+        old = payload({"a": bench(1.0), "extra": bench(2.0)})
+        assert missing_baselines(new, old) == []
+
+    def test_tolerates_malformed_payloads(self):
+        assert missing_baselines({}, {}) == []
+        assert missing_baselines(
+            payload({"a": bench(1.0)}), {"benchmarks": None}
+        ) == ["a"]
+
+
+def test_git_sha_returns_string():
+    sha = git_sha()
+    assert isinstance(sha, str)
+    assert sha

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Check relative markdown links, stdlib-only.
+
+Scans the given markdown files (or every ``*.md`` under given
+directories) for inline links and validates that relative targets exist
+on disk.  External schemes (``http(s)://``, ``mailto:``) and bare
+in-page anchors (``#section``) are skipped; a relative target's own
+``#fragment`` is stripped before the existence check.
+
+Usage::
+
+    python tools/check_markdown_links.py README.md docs/
+
+Exits 0 when every relative link resolves, 1 otherwise (one line per
+broken link), 2 on bad invocation.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+#: Inline markdown links: [text](target).  Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that point outside the repository; not checked.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(paths: List[str]) -> Iterator[str]:
+    """Yield every markdown file named by ``paths`` (dirs recurse)."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                for name in sorted(files):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def iter_links(path: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for each inline link in a file.
+
+    Fenced code blocks are skipped — CLI examples routinely contain
+    bracketed text that only looks like a link.
+    """
+    in_fence = False
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(line):
+                yield lineno, match.group(1)
+
+
+def broken_links(path: str) -> List[str]:
+    """Return ``file:line: target`` strings for unresolved relative links."""
+    problems: List[str] = []
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, target in iter_links(path):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = os.path.normpath(os.path.join(base, relative))
+        if not os.path.exists(resolved):
+            problems.append(f"{path}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the process exit code."""
+    if not argv:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: check_markdown_links.py FILE_OR_DIR ...", file=sys.stderr)
+        return 2
+    checked = 0
+    problems: List[str] = []
+    for path in iter_markdown_files(argv):
+        checked += 1
+        problems.extend(broken_links(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"checked {checked} markdown file(s): "
+        f"{len(problems)} broken link(s)",
+        file=sys.stderr,
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
