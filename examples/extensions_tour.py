@@ -18,15 +18,9 @@ from repro import (
     ExperimentConfig,
     PROFILES,
     RngRegistry,
-    adaptive_ttl,
     generate_trace,
-    invalidation,
-    lease_invalidation,
-    piggyback_invalidation,
-    poll_every_time,
-    run_experiment,
-    two_tier_lease,
 )
+from repro.api import build_protocol, run_experiment
 
 
 def main() -> None:
@@ -38,13 +32,14 @@ def main() -> None:
           f"{profile.num_files} files, 2.5-day lifetimes\n")
 
     schemes = [
-        ("poll-every-time", poll_every_time()),
-        ("adaptive TTL", adaptive_ttl()),
-        ("invalidation", invalidation()),
-        ("invalidation (multicast)", invalidation(multicast=True)),
-        ("lease invalidation (10m)", lease_invalidation(lease_duration=600.0)),
-        ("two-tier lease", two_tier_lease(lease_duration=1e9)),
-        ("PSI (piggyback)", piggyback_invalidation()),
+        ("poll-every-time", build_protocol("polling")),
+        ("adaptive TTL", build_protocol("ttl")),
+        ("invalidation", build_protocol("invalidation")),
+        ("invalidation (multicast)", build_protocol("invalidation-multicast")),
+        ("lease invalidation (10m)",
+         build_protocol("lease", lease_duration=600.0)),
+        ("two-tier lease", build_protocol("two-tier", lease_duration=1e9)),
+        ("PSI (piggyback)", build_protocol("psi")),
     ]
 
     print(f"{'scheme':28s}{'msgs':>8s}{'stale':>7s}{'maxlat':>8s}"
@@ -60,11 +55,11 @@ def main() -> None:
 
     # The Worrell configuration: a hierarchy in front of the server.
     flat = run_experiment(
-        ExperimentConfig(trace=trace, protocol=invalidation(),
+        ExperimentConfig(trace=trace, protocol=build_protocol("invalidation"),
                          mean_lifetime=lifetime)
     )
     hier = run_experiment(
-        ExperimentConfig(trace=trace, protocol=invalidation(),
+        ExperimentConfig(trace=trace, protocol=build_protocol("invalidation"),
                          mean_lifetime=lifetime, hierarchy_parents=2)
     )
     print("\nHierarchy (2 parents) vs flat, invalidation:")

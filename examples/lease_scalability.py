@@ -25,11 +25,8 @@ from repro import (
     PROFILES,
     RngRegistry,
     generate_trace,
-    invalidation,
-    lease_invalidation,
-    run_experiment,
-    two_tier_lease,
 )
+from repro.api import build_protocol, run_experiment
 
 
 def main() -> None:
@@ -41,11 +38,12 @@ def main() -> None:
           f"{profile.num_files} files\n")
 
     protocols = [
-        ("simple invalidation", invalidation()),
+        ("simple invalidation", build_protocol("invalidation")),
         # Wall-time lease of 20 minutes ~ a sizeable fraction of the
         # compressed replay, mirroring a multi-day lease on the real trace.
-        ("lease-augmented (20 min)", lease_invalidation(lease_duration=1200.0)),
-        ("two-tier (long lease)", two_tier_lease(lease_duration=1e9)),
+        ("lease-augmented (20 min)",
+         build_protocol("lease", lease_duration=1200.0)),
+        ("two-tier (long lease)", build_protocol("two-tier", lease_duration=1e9)),
     ]
 
     header = (f"{'policy':28s}{'entries':>9s}{'storage':>10s}"

@@ -19,13 +19,10 @@ from repro import (
     ExperimentConfig,
     PROFILES,
     RngRegistry,
-    adaptive_ttl,
     format_comparison_table,
     generate_trace,
-    invalidation,
-    poll_every_time,
-    run_experiment,
 )
+from repro.api import build_protocol, run_experiment
 
 
 def main() -> None:
@@ -41,7 +38,8 @@ def main() -> None:
     trace = generate_trace(profile, RngRegistry(seed=42))
 
     results = []
-    for protocol in (poll_every_time(), invalidation(), adaptive_ttl()):
+    for protocol in (build_protocol(name)
+                     for name in ("polling", "invalidation", "ttl")):
         print(f"Replaying under {protocol.name}...")
         config = ExperimentConfig(
             trace=trace, protocol=protocol, mean_lifetime=mean_lifetime

@@ -22,14 +22,11 @@ from repro import (
     ExperimentConfig,
     PROFILES,
     RngRegistry,
-    adaptive_ttl,
     format_comparison_table,
     format_invalidation_costs,
     generate_trace,
-    invalidation,
-    poll_every_time,
-    run_experiment,
 )
+from repro.api import build_protocol, run_experiment
 from repro.traces import profile as lookup_profile
 
 
@@ -49,7 +46,8 @@ def main() -> None:
     trace = generate_trace(profile, RngRegistry(seed=42))
 
     results = []
-    for protocol in (poll_every_time(), invalidation(), adaptive_ttl()):
+    for protocol in (build_protocol(name)
+                     for name in ("polling", "invalidation", "ttl")):
         print(f"  replaying {protocol.name}...")
         results.append(
             run_experiment(

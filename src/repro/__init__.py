@@ -30,6 +30,8 @@ accelerator), :mod:`repro.proxy` (proxy cache), :mod:`repro.core`
 :mod:`repro.metrics`, :mod:`repro.failures`.
 """
 
+from .api import PROTOCOLS, build_protocol, protocol_names, run_sweep
+from .api import run_experiment
 from .core import (
     DEFAULT_LEASE,
     MessageCounts,
@@ -52,7 +54,6 @@ from .replay import (
     ExperimentResult,
     format_comparison_table,
     format_invalidation_costs,
-    run_experiment,
 )
 from .sim import RngRegistry, Simulator
 from .traces import PROFILES, Trace, TraceProfile, generate_trace, read_clf, summarize
@@ -78,6 +79,11 @@ __all__ = [
     "symbolic_counts",
     "simulate_stream",
     "predict_message_counts",
+    # facade
+    "PROTOCOLS",
+    "build_protocol",
+    "protocol_names",
+    "run_sweep",
     # replay
     "ExperimentConfig",
     "ExperimentResult",

@@ -224,8 +224,8 @@ def run_replay_benchmarks(
     quick: bool = False, seed: int = 11
 ) -> Dict[str, Dict[str, float]]:
     """End-to-end replay throughput for one strong + one weak protocol."""
-    from .core import adaptive_ttl, invalidation
-    from .replay import ExperimentConfig, run_experiment
+    from .api import build_protocol, run_experiment
+    from .replay import ExperimentConfig
     from .sim import RngRegistry
     from .traces import generate_trace
     from .traces import profile as lookup_profile
@@ -235,8 +235,8 @@ def run_replay_benchmarks(
         lookup_profile("EPA").scaled(scale), RngRegistry(seed=3)
     )
     results: Dict[str, Dict[str, float]] = {}
-    for factory in (invalidation, adaptive_ttl):
-        protocol = factory()
+    for name in ("invalidation", "ttl"):
+        protocol = build_protocol(name)
         config = ExperimentConfig(
             trace=trace,
             protocol=protocol,
@@ -253,6 +253,45 @@ def run_replay_benchmarks(
             "total_messages": result.total_messages,
             "hits": result.hits,
         }
+
+    # Cluster fan-out: the same invalidation workload on 4 shards, with
+    # and without batching, so the trajectory records both the routed
+    # throughput and the batching win (message reduction).
+    unbatched_cfg = ExperimentConfig(
+        trace=trace,
+        protocol=build_protocol("invalidation"),
+        mean_lifetime=7 * 86400.0,
+        seed=seed,
+        shards=4,
+    )
+    unbatched = run_experiment(unbatched_cfg)
+    batched_cfg = ExperimentConfig(
+        trace=trace,
+        protocol=build_protocol("invalidation"),
+        mean_lifetime=7 * 86400.0,
+        seed=seed,
+        shards=4,
+        batch_window=1.0,
+        batch_max=32,
+    )
+    t0 = time.perf_counter()
+    batched = run_experiment(batched_cfg)
+    elapsed = time.perf_counter() - t0
+    reduction = (
+        1.0 - batched.invalidations_sent / unbatched.invalidations_sent
+        if unbatched.invalidations_sent
+        else 0.0
+    )
+    results["cluster_fanout"] = {
+        "requests": batched.total_requests,
+        "seconds": round(elapsed, 6),
+        "requests_per_sec": round(batched.total_requests / elapsed, 1),
+        "shards": 4,
+        "invalidations_unbatched": unbatched.invalidations_sent,
+        "invalidations_batched": batched.invalidations_sent,
+        "fanout_reduction": round(reduction, 4),
+        "imbalance_ratio": round(batched.cluster["imbalance_ratio"], 4),
+    }
     return results
 
 

@@ -29,8 +29,9 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..replay.experiment import ExperimentConfig, ExperimentResult, run_experiment
-from ..replay.sweep import derive_point_seed, sweep
+from ..api import run_experiment, run_sweep
+from ..replay.experiment import ExperimentConfig, ExperimentResult
+from ..replay.sweep import derive_point_seed
 from .faults import MAX_CLOCK_SKEW, FaultSchedule, random_schedule
 
 __all__ = [
@@ -258,21 +259,21 @@ def run_campaign(
     )
 
     proxies = [f"proxy-{i}" for i in range(base.num_pseudo_clients)]
+    shards = (
+        [f"shard-{i}" for i in range(base.shards)] if base.shards > 1 else ()
+    )
     schedules: Dict[str, FaultSchedule] = {}
     points = []
     for i in range(num_schedules):
         label = f"chaos-{i:04d}"
         schedule = random_schedule(
             derive_point_seed(seed, label), horizon, proxies,
-            max_faults=max_faults,
+            max_faults=max_faults, shards=shards,
         )
         schedules[label] = schedule
         points.append((label, {"fault_schedule": schedule, "audit": True}))
 
-    if runner is not None:
-        results = sweep(base, points, runner=runner)
-    else:
-        results = sweep(base, points)
+    results = run_sweep(base, points, runner=runner)
 
     verdicts: List[ScheduleVerdict] = [baseline]
     for item in results:

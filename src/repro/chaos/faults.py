@@ -27,6 +27,19 @@ Fault kinds:
 ``clock_skew``
     A proxy host's clock runs ``skew`` seconds off during the window
     (negative = behind, the direction lease expiry must tolerate).
+``shard_crash``
+    One accelerator shard of a sharded cluster (``shards > 1``) dies and
+    recovers with the INVALIDATE-by-server fan-out plus a site-list
+    handoff back from its failover shards; ``lose_sitelog=True`` also
+    destroys that shard's persistent known-sites log.
+``shard_rebalance``
+    A planned drain: the shard's ring segment (and its site lists) move
+    to the other shards at ``at`` and move back at ``until`` — no crash,
+    no lost state, just live ownership churn.
+
+The shard kinds are only sampled when :func:`random_schedule` is given a
+``shards`` sequence; without it the sampling stream is bit-identical to
+the pre-cluster harness, so archived schedule seeds replay unchanged.
 """
 
 from __future__ import annotations
@@ -51,6 +64,8 @@ FAULT_KINDS = (
     "partition",
     "link_fault",
     "clock_skew",
+    "shard_crash",
+    "shard_rebalance",
 )
 
 #: Bound on sampled clock skew, seconds.  Campaigns configure the lease
@@ -59,13 +74,22 @@ FAULT_KINDS = (
 MAX_CLOCK_SKEW = 30.0
 
 #: Relative sampling weights per fault kind (link faults are the most
-#: interaction-rich, so they are drawn most often).
+#: interaction-rich, so they are drawn most often).  The shard kinds are
+#: appended only when a cluster is present — keeping this base dict (and
+#: its order) untouched preserves the RNG stream of shard-less
+#: schedules, so archived seeds replay bit-identically.
 _KIND_WEIGHTS = {
     "proxy_crash": 2.0,
     "server_crash": 1.5,
     "partition": 2.0,
     "link_fault": 3.0,
     "clock_skew": 1.5,
+}
+
+#: Extra weights appended when sampling against a sharded cluster.
+_SHARD_KIND_WEIGHTS = {
+    "shard_crash": 2.0,
+    "shard_rebalance": 1.5,
 }
 
 
@@ -167,10 +191,16 @@ class FaultSchedule:
 
 
 def _sample_fault(
-    rng: random.Random, horizon: float, proxies: Sequence[str]
+    rng: random.Random,
+    horizon: float,
+    proxies: Sequence[str],
+    shards: Sequence[str] = (),
 ) -> Fault:
-    kinds = list(_KIND_WEIGHTS)
-    kind = rng.choices(kinds, weights=[_KIND_WEIGHTS[k] for k in kinds])[0]
+    weights = dict(_KIND_WEIGHTS)
+    if shards:
+        weights.update(_SHARD_KIND_WEIGHTS)
+    kinds = list(weights)
+    kind = rng.choices(kinds, weights=[weights[k] for k in kinds])[0]
     # Start inside the first 60% of the run, heal by 95% of it: every
     # fault leaves room for the recovery machinery to finish inside the
     # horizon, so retry loops always terminate.
@@ -216,6 +246,14 @@ def _sample_fault(
                 "rng_seed": rng.randrange(2**32),
             },
         )
+    if kind == "shard_crash":
+        return Fault(
+            kind, at, until,
+            target=rng.choice(list(shards)),
+            params={"lose_sitelog": rng.random() < 0.3},
+        )
+    if kind == "shard_rebalance":
+        return Fault(kind, at, until, target=rng.choice(list(shards)))
     # clock_skew
     return Fault(
         kind, at, until,
@@ -230,11 +268,15 @@ def random_schedule(
     proxies: Sequence[str],
     max_faults: int = 5,
     min_faults: int = 1,
+    shards: Sequence[str] = (),
 ) -> FaultSchedule:
     """Sample a schedule of 1..``max_faults`` faults over ``horizon``.
 
-    Deterministic in ``seed``: the same seed, horizon and proxy list
-    always produce the identical schedule, in any process.
+    Deterministic in ``seed``: the same seed, horizon, proxy list and
+    shard list always produce the identical schedule, in any process.
+    With an empty ``shards`` (the default) the sampling is bit-identical
+    to the pre-cluster harness; passing shard addresses adds
+    ``shard_crash`` / ``shard_rebalance`` to the draw.
     """
     if horizon <= 0:
         raise ValueError("horizon must be positive")
@@ -246,21 +288,38 @@ def random_schedule(
     count = rng.randint(min_faults, max_faults)
     faults = tuple(
         sorted(
-            (_sample_fault(rng, horizon, proxies) for _ in range(count)),
+            (_sample_fault(rng, horizon, proxies, shards) for _ in range(count)),
             key=lambda f: (f.at, f.kind, f.target),
         )
     )
     return FaultSchedule(seed=seed, horizon=horizon, faults=faults)
 
 
-def apply_schedule(schedule: FaultSchedule, injector, server, proxies) -> None:
+def apply_schedule(
+    schedule: FaultSchedule, injector, server, proxies, cluster=None
+) -> None:
     """Arm every fault in ``schedule`` against a built testbed.
 
     Args:
         injector: a :class:`repro.failures.FailureInjector`.
-        server: the :class:`repro.server.ServerSite`.
+        server: the :class:`repro.server.ServerSite` (or the
+            :class:`repro.server.AcceleratorCluster` facade).
         proxies: ``{address: ProxyCache}`` for the leaf proxies.
+        cluster: the :class:`repro.server.AcceleratorCluster` when the
+            run is sharded; required for ``shard_*`` faults.  Partitions
+            and link faults naming ``server`` are widened to cover the
+            shard addresses too, so the "server side of the cut" keeps
+            meaning the whole origin tier.
     """
+
+    def origin_side(group):
+        expanded = []
+        for address in group:
+            expanded.append(address)
+            if cluster is not None and address == "server":
+                expanded.extend(s.address for s in cluster.shards)
+        return expanded
+
     for fault in schedule.faults:
         params = fault.params
         if fault.kind == "proxy_crash":
@@ -275,22 +334,51 @@ def apply_schedule(schedule: FaultSchedule, injector, server, proxies) -> None:
             )
         elif fault.kind == "partition":
             injector.schedule_partition(
-                params["group_a"], params["group_b"],
+                origin_side(params["group_a"]),
+                origin_side(params["group_b"]),
                 at=fault.at, heal_at=fault.until,
             )
         elif fault.kind == "link_fault":
-            injector.schedule_link_fault(
-                params["src"], params["dst"], at=fault.at, until=fault.until,
-                drop_prob=float(params.get("drop_prob", 0.0)),
-                dup_prob=float(params.get("dup_prob", 0.0)),
-                extra_delay=float(params.get("extra_delay", 0.0)),
-                jitter=float(params.get("jitter", 0.0)),
-                rng=random.Random(int(params.get("rng_seed", 0))),
-            )
+            seed = int(params.get("rng_seed", 0))
+            endpoints = [(params["src"], params["dst"])]
+            if cluster is not None:
+                endpoints = [
+                    (src, dst)
+                    for src in origin_side([params["src"]])
+                    for dst in origin_side([params["dst"]])
+                ]
+            for offset, (src, dst) in enumerate(endpoints):
+                injector.schedule_link_fault(
+                    src, dst, at=fault.at, until=fault.until,
+                    drop_prob=float(params.get("drop_prob", 0.0)),
+                    dup_prob=float(params.get("dup_prob", 0.0)),
+                    extra_delay=float(params.get("extra_delay", 0.0)),
+                    jitter=float(params.get("jitter", 0.0)),
+                    rng=random.Random(seed + offset),
+                )
         elif fault.kind == "clock_skew":
             injector.schedule_clock_skew(
                 proxies[fault.target], at=fault.at, until=fault.until,
                 skew=float(params["skew"]),
+            )
+        elif fault.kind == "shard_crash":
+            if cluster is None:
+                raise ValueError(
+                    "schedule contains shard_crash but the run has no "
+                    "accelerator cluster (shards=1)"
+                )
+            injector.schedule_shard_crash(
+                cluster, fault.target, at=fault.at, recover_at=fault.until,
+                lose_sitelog=bool(params.get("lose_sitelog", False)),
+            )
+        elif fault.kind == "shard_rebalance":
+            if cluster is None:
+                raise ValueError(
+                    "schedule contains shard_rebalance but the run has no "
+                    "accelerator cluster (shards=1)"
+                )
+            injector.schedule_shard_rebalance(
+                cluster, fault.target, at=fault.at, until=fault.until,
             )
         else:  # pragma: no cover - Fault.__post_init__ rejects these
             raise ValueError(f"unknown fault kind {fault.kind!r}")

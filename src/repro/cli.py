@@ -50,18 +50,8 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .core import (
-    adaptive_lease,
-    adaptive_ttl,
-    fixed_ttl,
-    invalidation,
-    lease_invalidation,
-    piggyback_invalidation,
-    poll_every_time,
-    simulate_stream,
-    symbolic_counts,
-    two_tier_lease,
-)
+from .api import PROTOCOLS, build_protocol
+from .core import simulate_stream, symbolic_counts
 from .core.analysis import timed_stream_from_ops
 from .replay import (
     ExperimentConfig,
@@ -82,20 +72,26 @@ from .workload import DAYS, count_r_ri, parse_stream
 
 __all__ = ["main", "build_parser"]
 
-#: CLI protocol names -> factories.
-PROTOCOL_FACTORIES = {
-    "ttl": adaptive_ttl,
-    "adaptive-ttl": adaptive_ttl,
-    "fixed-ttl": fixed_ttl,
-    "polling": poll_every_time,
-    "invalidation": invalidation,
-    "invalidation-decoupled": lambda: invalidation(blocking=False),
-    "invalidation-multicast": lambda: invalidation(multicast=True),
-    "lease": lease_invalidation,
-    "adaptive-lease": adaptive_lease,
-    "two-tier": two_tier_lease,
-    "psi": piggyback_invalidation,
-}
+_warned_factories = False
+
+
+def __getattr__(name: str):
+    """Deprecation shim: ``repro.cli.PROTOCOL_FACTORIES`` moved to
+    :data:`repro.api.PROTOCOLS` (same names, same factories)."""
+    if name == "PROTOCOL_FACTORIES":
+        global _warned_factories
+        if not _warned_factories:
+            _warned_factories = True
+            import warnings
+
+            warnings.warn(
+                "repro.cli.PROTOCOL_FACTORIES is deprecated; use "
+                "repro.api.PROTOCOLS (or repro.api.build_protocol)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return PROTOCOLS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,6 +141,29 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="insert N parent caches (0 = flat, the paper's setup)",
         )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            metavar="N",
+            help="accelerator shards (1 = the paper's single accelerator)",
+        )
+        p.add_argument(
+            "--batch-window",
+            type=float,
+            default=0.0,
+            metavar="SECONDS",
+            help="coalesce same-proxy invalidations for this long "
+            "(cluster only; 0 = send immediately)",
+        )
+        p.add_argument(
+            "--batch-max",
+            type=int,
+            default=0,
+            metavar="N",
+            help="flush an invalidation batch at N URLs even before the "
+            "window closes (cluster only; 0 = no size cap)",
+        )
 
     def add_parallel_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -183,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--protocol",
         default="invalidation",
-        choices=sorted(PROTOCOL_FACTORIES),
+        choices=sorted(PROTOCOLS),
         help="consistency protocol",
     )
     replay.add_argument(
@@ -288,6 +307,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="CI smoke: tiny matrix end to end, assert report invariants",
     )
+    report.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the matrix on an N-shard accelerator cluster (adds the "
+        "shard-balance panel; default 1 = the paper's setup)",
+    )
+    report.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="cluster invalidation batching window (0 = immediate)",
+    )
+    report.add_argument(
+        "--batch-max",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cluster invalidation batch size cap (0 = none)",
+    )
     add_parallel_args(report)
 
     trace_p = sub.add_parser(
@@ -298,7 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument(
         "--protocol",
         default="invalidation",
-        choices=sorted(PROTOCOL_FACTORIES),
+        choices=sorted(PROTOCOLS),
         help="consistency protocol",
     )
     trace_p.add_argument(
@@ -354,7 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--protocol",
         default="invalidation",
-        choices=sorted(PROTOCOL_FACTORIES),
+        choices=sorted(PROTOCOLS),
         help="consistency protocol under test",
     )
     chaos.add_argument(
@@ -474,11 +515,14 @@ def _make_config(args, protocol) -> ExperimentConfig:
         proxy_cache_bytes=args.cache_mb * 1024 * 1024,
         seed=args.seed,
         hierarchy_parents=args.hierarchy or None,
+        shards=getattr(args, "shards", 1),
+        batch_window=getattr(args, "batch_window", 0.0),
+        batch_max=getattr(args, "batch_max", 0),
     )
 
 
 def _cmd_replay(args, out) -> int:
-    protocol = PROTOCOL_FACTORIES[args.protocol]()
+    protocol = build_protocol(args.protocol)
     result = run_experiment(_make_config(args, protocol))
     if args.json:
         from .replay import results_to_json
@@ -489,13 +533,36 @@ def _cmd_replay(args, out) -> int:
     if protocol.uses_invalidation:
         print("", file=out)
         print(format_invalidation_costs([result]), file=out)
+    if result.cluster is not None:
+        cluster = result.cluster
+        print("", file=out)
+        print(
+            f"Cluster: {cluster['shards']} shard(s), "
+            f"imbalance {cluster['imbalance_ratio']:.2f}x, "
+            f"{cluster['handoffs']} site-list handoff(s)",
+            file=out,
+        )
+        if cluster["batches_delivered"]:
+            print(
+                f"  batching: {cluster['batched_invalidations_delivered']} "
+                f"invalidation(s) in {cluster['batches_delivered']} "
+                f"message(s)",
+                file=out,
+            )
+        for name, row in sorted(cluster["per_shard"].items()):
+            print(
+                f"  {name}: {row['requests_routed']} routed, "
+                f"{row['invalidations_sent']} invalidation msg(s), "
+                f"{row['sitelist_entries']} site-list entries",
+                file=out,
+            )
     return 0
 
 
 def _cmd_compare(args, out) -> int:
     results = []
-    for factory in (poll_every_time, invalidation, adaptive_ttl):
-        results.append(run_experiment(_make_config(args, factory())))
+    for name in ("polling", "invalidation", "ttl"):
+        results.append(run_experiment(_make_config(args, build_protocol(name))))
     if args.json:
         from .replay import results_to_json
 
@@ -541,11 +608,11 @@ def _cmd_sweep(args, out) -> int:
     import json
 
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
-    unknown = [p for p in protocols if p not in PROTOCOL_FACTORIES]
+    unknown = [p for p in protocols if p not in PROTOCOLS]
     if not protocols or unknown:
         print(
             f"error: unknown protocol(s) {', '.join(unknown) or '<none>'}; "
-            f"choose from {', '.join(sorted(PROTOCOL_FACTORIES))}",
+            f"choose from {', '.join(sorted(PROTOCOLS))}",
             file=out,
         )
         return 2
@@ -554,7 +621,7 @@ def _cmd_sweep(args, out) -> int:
         if args.lifetimes
         else [args.lifetime_days]
     )
-    base = _make_config(args, PROTOCOL_FACTORIES[protocols[0]]())
+    base = _make_config(args, build_protocol(protocols[0]))
     points = []
     for days in lifetimes:
         for name in protocols:
@@ -563,7 +630,7 @@ def _cmd_sweep(args, out) -> int:
                 (
                     label,
                     {
-                        "protocol": PROTOCOL_FACTORIES[name](),
+                        "protocol": build_protocol(name),
                         "mean_lifetime": days * DAYS,
                     },
                 )
@@ -608,7 +675,7 @@ def _cmd_table(args, out) -> int:
     first_trace, first_days = spec[0]
     base = ExperimentConfig(
         trace=traces[first_trace],
-        protocol=PROTOCOL_FACTORIES[TABLE_PROTOCOLS[0]](),
+        protocol=build_protocol(TABLE_PROTOCOLS[0]),
         mean_lifetime=first_days * DAYS,
         proxy_cache_bytes=args.cache_mb * 1024 * 1024,
         seed=args.seed,
@@ -619,7 +686,7 @@ def _cmd_table(args, out) -> int:
             {
                 "trace": traces[trace_name],
                 "mean_lifetime": days * DAYS,
-                "protocol": PROTOCOL_FACTORIES[proto](),
+                "protocol": build_protocol(proto),
             },
         )
         for trace_name, days in spec
@@ -663,6 +730,9 @@ def _cmd_report(args, out) -> int:
             from_checkpoints=args.from_checkpoints,
             generated=generated,
             progress=lambda line: print(line, file=sys.stderr),
+            shards=args.shards,
+            batch_window=args.batch_window,
+            batch_max=args.batch_max,
         )
     except (ValueError, SweepPointFailed) as exc:
         print(f"error: {exc}", file=out)
@@ -717,7 +787,7 @@ def _cmd_trace(args, out) -> int:
         registry=MetricsRegistry(), sink=sink, deep=args.deep
     )
     config = dataclasses.replace(
-        _make_config(args, PROTOCOL_FACTORIES[args.protocol]()),
+        _make_config(args, build_protocol(args.protocol)),
         observation=observation,
     )
     try:
@@ -749,7 +819,7 @@ def _cmd_chaos(args, out) -> int:
 
     from .chaos import run_campaign
 
-    protocol = PROTOCOL_FACTORIES[args.protocol]()
+    protocol = build_protocol(args.protocol)
     base = _make_config(args, protocol)
     try:
         report = run_campaign(

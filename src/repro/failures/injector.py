@@ -113,6 +113,62 @@ class FailureInjector:
         self.sim.schedule_callback(at - self.sim.now, crash)
         self.sim.schedule_callback(recover_at - self.sim.now, recover)
 
+    # -- accelerator shards ---------------------------------------------------
+
+    def schedule_shard_crash(
+        self,
+        cluster,
+        shard: str,
+        at: float,
+        recover_at: float,
+        lose_sitelog: bool = False,
+    ) -> None:
+        """Crash one accelerator shard at ``at``; recover it at
+        ``recover_at``.
+
+        While the shard is down the cluster's hash ring routes its
+        documents to the clockwise successor; on recovery the ring
+        rebalances and site-list entries registered at failover shards
+        hand back to the recovered owner.
+        """
+        if recover_at <= at:
+            raise ValueError("recovery must follow the crash")
+
+        def crash() -> None:
+            cluster.crash_shard(shard, lose_sitelog=lose_sitelog)
+            kind = "shard-crash(sitelog lost)" if lose_sitelog else "shard-crash"
+            self._record(kind, shard)
+
+        def recover() -> None:
+            cluster.recover_shard(shard)
+            self._record("shard-recover", shard)
+
+        self.sim.schedule_callback(at - self.sim.now, crash)
+        self.sim.schedule_callback(recover_at - self.sim.now, recover)
+
+    def schedule_shard_rebalance(
+        self, cluster, shard: str, at: float, until: float
+    ) -> None:
+        """Drain a shard out of the hash ring from ``at`` to ``until``.
+
+        A drained shard stays up (it can still flush dirty state and
+        answer in-flight work) but receives no new routes; restoring it
+        triggers a rebalance that migrates site lists back.
+        """
+        if until <= at:
+            raise ValueError("drain window must end after it starts")
+
+        def drain() -> None:
+            cluster.drain_shard(shard)
+            self._record("shard-drain", shard)
+
+        def restore() -> None:
+            cluster.restore_shard(shard)
+            self._record("shard-restore", shard)
+
+        self.sim.schedule_callback(at - self.sim.now, drain)
+        self.sim.schedule_callback(until - self.sim.now, restore)
+
     # -- partition ----------------------------------------------------------
 
     def schedule_partition(

@@ -39,6 +39,8 @@ __all__ = [
     "make_reply_200",
     "make_reply_304",
     "make_invalidate_url",
+    "make_invalidate_multi",
+    "make_invalidate_batch",
     "make_invalidate_server",
 ]
 
@@ -111,13 +113,16 @@ class HttpResponse(Message):
 class Invalidate(Message):
     """An INVALIDATE message.
 
-    Exactly one of ``url`` / ``server`` is set:
+    Exactly one of ``url`` / ``server`` / ``pairs`` is set:
 
     * ``url`` — delete the named document from the cache of ``client_id``
       (or every client in ``client_ids`` for the multicast form).
     * ``server`` — mark every cached document from that Web server
       questionable (requires revalidation before next use); sent during
       server-site crash recovery.
+    * ``pairs`` — batched form: ``((url, client_ids), ...)`` coalescing
+      several documents' invalidations for one proxy into a single
+      message (the sharded accelerator tier's fan-out batching).
     """
 
     url: Optional[str] = None
@@ -126,15 +131,23 @@ class Invalidate(Message):
     #: Multicast form: all real clients behind the destination proxy that
     #: should drop the URL (``None`` for the single-client form).
     client_ids: Optional[tuple] = None
+    #: Batched form: ``((url, (client_id, ...)), ...)`` — every entry the
+    #: destination proxy should drop, across several documents.
+    pairs: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if (self.url is None) == (self.server is None):
-            raise ValueError("exactly one of url/server must be set")
+        forms = sum(x is not None for x in (self.url, self.server, self.pairs))
+        if forms != 1:
+            raise ValueError("exactly one of url/server/pairs must be set")
 
     @property
     def target_clients(self) -> tuple:
-        """The client ids this message invalidates (1 or many)."""
+        """The client ids this message invalidates (1 or many).
+
+        For the batched (``pairs``) form the targets are per-URL; use
+        :attr:`pairs` directly instead.
+        """
         if self.client_ids is not None:
             return self.client_ids
         return (self.client_id,) if self.client_id else ()
@@ -266,6 +279,36 @@ def make_invalidate_multi(
         category=CATEGORY_INVALIDATE,
         url=url,
         client_ids=client_ids,
+    )
+
+
+def make_invalidate_batch(
+    src: Address,
+    dst: Address,
+    pairs,
+    wire: WireCosts = DEFAULT_WIRE,
+) -> Invalidate:
+    """Build one INVALIDATE coalescing several documents for one proxy.
+
+    ``pairs`` is an iterable of ``(url, client_ids)``.  The wire size is
+    one base INVALIDATE plus ``invalidate_per_url`` for each extra URL
+    and ``invalidate_per_client`` for each extra client id within a URL,
+    so batching saves the per-message framing the unbatched fan-out pays.
+    """
+    normalized = tuple((url, tuple(cids)) for url, cids in pairs)
+    if not normalized:
+        raise ValueError("batched INVALIDATE needs at least one pair")
+    size = wire.invalidate + wire.invalidate_per_url * (len(normalized) - 1)
+    for _url, cids in normalized:
+        if not cids:
+            raise ValueError("batched INVALIDATE pair needs at least one client")
+        size += wire.invalidate_per_client * (len(cids) - 1)
+    return Invalidate(
+        src=src,
+        dst=dst,
+        size=size,
+        category=CATEGORY_INVALIDATE,
+        pairs=normalized,
     )
 
 

@@ -29,6 +29,9 @@ class WireCosts:
         invalidate_per_client: additional bytes per extra client id when a
             single INVALIDATE is multicast to several clients behind one
             proxy (the paper's suggested "multicast schemes").
+        invalidate_per_url: additional bytes per extra URL when a batched
+            INVALIDATE coalesces several documents' invalidations into one
+            message (the sharded accelerator tier's fan-out batching).
         piggyback_per_url: bytes per URL in a piggybacked invalidation
             list attached to a reply (PSI extension).
     """
@@ -39,6 +42,7 @@ class WireCosts:
     not_modified_reply: int = 180
     invalidate: int = 120
     invalidate_per_client: int = 16
+    invalidate_per_url: int = 24
     piggyback_per_url: int = 24
 
     def __post_init__(self) -> None:
@@ -49,6 +53,7 @@ class WireCosts:
             "not_modified_reply",
             "invalidate",
             "invalidate_per_client",
+            "invalidate_per_url",
             "piggyback_per_url",
         ):
             if getattr(self, name) < 0:

@@ -251,6 +251,28 @@ class Observation:
         gauges.gauge("sitelist_entries", **labels).set(
             server.table.total_entries()
         )
+        cluster = getattr(result, "cluster", None)
+        if cluster is not None:
+            gauges.gauge("cluster_shards", **labels).set(cluster["shards"])
+            gauges.gauge("cluster_imbalance_ratio", **labels).set(
+                cluster["imbalance_ratio"]
+            )
+            gauges.gauge("cluster_handoffs", **labels).set(cluster["handoffs"])
+            gauges.gauge("cluster_batches_delivered", **labels).set(
+                cluster["batches_delivered"]
+            )
+            for shard_name, row in cluster["per_shard"].items():
+                shard_labels = dict(labels, shard=shard_name)
+                for metric in (
+                    "requests_routed",
+                    "invalidations_sent",
+                    "batches_sent",
+                    "sitelist_entries",
+                    "sitelist_evictions",
+                ):
+                    gauges.gauge(f"shard_{metric}", **shard_labels).set(
+                        row[metric]
+                    )
         capture_result(self.registry, result)
         if self.tracer is not None:
             self.tracer.publish(self.registry, **labels)

@@ -250,6 +250,9 @@ def collect_report(
     git_sha: Optional[str] = None,
     generated: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    shards: int = 1,
+    batch_window: float = 0.0,
+    batch_max: int = 0,
 ) -> ReportData:
     """Assemble one report: run (or load) the matrix and its summaries.
 
@@ -263,8 +266,13 @@ def collect_report(
             instead of replaying.
         git_sha / generated: manifest overrides (tests pin these).
         progress: optional line sink for status output.
+        shards / batch_window / batch_max: accelerator-cluster knobs;
+            ``shards=1`` (the default) keeps the paper's single
+            accelerator and the report byte-identical to earlier
+            releases.  A sharded matrix adds a shard-balance panel.
     """
-    from ..replay import ExperimentConfig, sweep
+    from ..api import run_sweep
+    from ..replay import ExperimentConfig
     from ..sim import RngRegistry
     from ..traces import generate_trace, summarize
     from ..traces import profile as lookup_profile
@@ -284,19 +292,17 @@ def collect_report(
         say(f"loading matrix from checkpoints in {from_checkpoints}")
         results = load_checkpoint_results(from_checkpoints, experiments)
     else:
-        from ..core import adaptive_ttl, invalidation, poll_every_time
+        from ..api import build_protocol
 
-        factories = {
-            "polling": poll_every_time,
-            "invalidation": invalidation,
-            "ttl": adaptive_ttl,
-        }
         _table0, trace0, days0 = experiments[0]
         base = ExperimentConfig(
             trace=traces[trace0],
-            protocol=factories[REPORT_PROTOCOLS[0]](),
+            protocol=build_protocol(REPORT_PROTOCOLS[0]),
             mean_lifetime=days0 * DAYS,
             seed=seed,
+            shards=shards,
+            batch_window=batch_window,
+            batch_max=batch_max,
         )
         points = [
             (
@@ -304,19 +310,14 @@ def collect_report(
                 {
                     "trace": traces[trace_name],
                     "mean_lifetime": days * DAYS,
-                    "protocol": factories[proto](),
+                    "protocol": build_protocol(proto),
                 },
             )
             for _table, trace_name, days in experiments
             for proto in REPORT_PROTOCOLS
         ]
         say(f"replaying {len(points)} matrix point(s) at scale {scale:g}")
-        # sweep()'s default serial runner only engages when the kwarg is
-        # omitted, so don't forward an explicit None.
-        if runner is None:
-            swept = sweep(base, points)
-        else:
-            swept = sweep(base, points, runner=runner)
+        swept = run_sweep(base, points, runner=runner)
         results = {point.label: point.result for point in swept}
 
     manifest = build_manifest(
@@ -705,6 +706,43 @@ def render_report(data: ReportData) -> str:
         "leases."
     )
     add("")
+
+    # -- cluster shard balance (only for sharded runs) ---------------------
+    clustered = {
+        label: result.cluster
+        for label, result in sorted(data.results.items())
+        if getattr(result, "cluster", None) is not None
+    }
+    if clustered:
+        first = next(iter(clustered.values()))
+        add("## Cluster shard balance")
+        add("")
+        add(
+            f"Accelerator tier: {first['shards']} shards "
+            f"(batch window {first['batch_window']:g}s, "
+            f"batch cap {first['batch_max'] or 'none'}).  The imbalance "
+            "ratio is max/mean requests routed per shard; 1.00 is a "
+            "perfectly even consistent-hash split."
+        )
+        add("")
+        add(
+            "| Experiment | Imbalance | Handoffs | Batches | "
+            "Invalidations batched | Busiest shard |"
+        )
+        add("|---|---|---|---|---|---|")
+        for label, cluster in clustered.items():
+            busiest = max(
+                cluster["per_shard"].items(),
+                key=lambda item: item[1]["requests_routed"],
+            )
+            add(
+                f"| {label} | {cluster['imbalance_ratio']:.2f}x "
+                f"| {cluster['handoffs']} "
+                f"| {cluster['batches_delivered']} "
+                f"| {cluster['batched_invalidations_delivered']} "
+                f"| {busiest[0]} ({busiest[1]['requests_routed']} routed) |"
+            )
+        add("")
     return "\n".join(lines)
 
 

@@ -27,6 +27,7 @@ protocol, so all protocol runs of one experiment see identical workloads.
 from __future__ import annotations
 
 import dataclasses
+import difflib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -50,6 +51,14 @@ from .coordinator import TimeCoordinator
 from .pseudo_client import PseudoClient, shard_records
 
 __all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment"]
+
+
+def _unknown_value(label: str, value, choices) -> str:
+    """Error text for a bad enum value, suggesting the closest spelling."""
+    suggestion = difflib.get_close_matches(str(value), list(choices), n=1)
+    hint = f"; did you mean {suggestion[0]!r}?" if suggestion else ""
+    options = ", ".join(repr(c) for c in choices)
+    return f"unknown {label} {value!r}{hint} (choose from {options})"
 
 
 @dataclass(frozen=True)
@@ -91,6 +100,17 @@ class ExperimentConfig:
             related-work discussion.  Only meaningful for invalidation
             protocols.
         parent_cache_bytes: capacity of each parent cache.
+        shards: accelerator shards behind the ``server`` address.  The
+            default 1 is the paper's single accelerator (bit-identical to
+            the pre-cluster code path); ``> 1`` builds a
+            :class:`repro.server.AcceleratorCluster` that partitions
+            documents across shards by consistent hashing.
+        batch_window: seconds a shard may hold a proxy's invalidations
+            open to coalesce them into one batched INVALIDATE (0 with
+            ``batch_max`` 0 disables batching; shards only).
+        batch_max: flush a shard's per-proxy invalidation buffer as soon
+            as it holds this many (url, client) pairs (0 = no size cap;
+            shards only).
         iostat_period: sampling period for the load monitor.
         fault_schedule: optional :class:`repro.chaos.FaultSchedule` (or
             its ``to_dict()`` form) of crashes/partitions/link faults/
@@ -136,8 +156,23 @@ class ExperimentConfig:
     audit: bool = False
     fast_path: bool = True
     observation: Optional[object] = None
+    shards: int = 1
+    batch_window: float = 0.0
+    batch_max: int = 0
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "ExperimentConfig":
+        """Check every cross-field constraint; returns ``self`` when valid.
+
+        Raises :class:`ValueError` with actionable messages — string
+        enums suggest the closest valid spelling, so a typo like
+        ``detection="notfy"`` points at ``"notify"`` instead of only
+        listing the alternatives.  Construction runs this automatically;
+        callers assembling configs via ``dataclasses.replace`` or the
+        :mod:`repro.api` facade can call it again for free.
+        """
         if self.mean_lifetime <= 0:
             raise ValueError("mean_lifetime must be positive")
         if self.num_pseudo_clients < 1:
@@ -145,7 +180,32 @@ class ExperimentConfig:
         if self.size_scale <= 0:
             raise ValueError("size_scale must be positive")
         if self.detection not in ("notify", "browser"):
-            raise ValueError(f"unknown detection mode {self.detection!r}")
+            raise ValueError(
+                _unknown_value("detection mode", self.detection,
+                               ("notify", "browser"))
+            )
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.batch_max < 0:
+            raise ValueError("batch_max must be non-negative")
+        if self.shards == 1 and (self.batch_window or self.batch_max):
+            raise ValueError(
+                "invalidation batching (batch_window/batch_max) requires "
+                "shards > 1 — the single-accelerator path is kept "
+                "bit-identical to the paper's testbed"
+            )
+        if self.shards > 1 and self.hierarchy_parents:
+            raise ValueError(
+                "shards > 1 cannot be combined with hierarchy_parents"
+            )
+        if self.shards > 1 and self.protocol.adaptive_lease_budget:
+            raise ValueError(
+                "shards > 1 cannot be combined with an adaptive-lease "
+                "protocol (the controller assumes one accelerator)"
+            )
+        return self
 
 
 @dataclass
@@ -183,6 +243,9 @@ class ExperimentResult:
     invalidation_time_avg: float = 0.0
     invalidation_time_max: float = 0.0
     invalidations_sent: int = 0
+    #: Expired site-list entries evicted under the lease-grace rule
+    #: during the run (0 for protocols without finite leases).
+    sitelist_evictions: int = 0
 
     # Origin-server-side counters (differ from the wire counts when a
     # hierarchy adds a second hop).
@@ -199,6 +262,10 @@ class ExperimentResult:
     # Chaos verdict (auditor report + network-fault and schedule data);
     # ``None`` unless the run was audited or fault-injected.
     chaos: Optional[dict] = None
+
+    # Sharded-accelerator panel (per-shard counters, imbalance, batching
+    # savings); ``None`` unless the run used ``shards > 1``.
+    cluster: Optional[dict] = None
 
     @property
     def hits(self) -> int:
@@ -263,15 +330,33 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         mean_initial_age=config.mean_initial_age,
         rng=rng.stream("initial-ages"),
     )
-    server = ServerSite(
-        sim,
-        network,
-        "server",
-        filestore,
-        accel=protocol.accelerator,
-        costs=scaled_server_costs,
-        wire=config.wire,
-    )
+    cluster = None
+    if config.shards > 1:
+        from ..server.cluster import AcceleratorCluster
+
+        cluster = AcceleratorCluster(
+            sim,
+            network,
+            "server",
+            filestore,
+            accel=protocol.accelerator,
+            costs=scaled_server_costs,
+            wire=config.wire,
+            num_shards=config.shards,
+            batch_window=config.batch_window,
+            batch_max=config.batch_max,
+        )
+        server = cluster
+    else:
+        server = ServerSite(
+            sim,
+            network,
+            "server",
+            filestore,
+            accel=protocol.accelerator,
+            costs=scaled_server_costs,
+            wire=config.wire,
+        )
 
     parents = []
     if config.hierarchy_parents:
@@ -360,7 +445,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             schedule_obj = FaultSchedule.from_dict(schedule_obj)
         injector = FailureInjector(sim, network)
         apply_schedule(
-            schedule_obj, injector, server, {p.address: p for p in proxies}
+            schedule_obj, injector, server, {p.address: p for p in proxies},
+            cluster=cluster,
         )
 
     # Modification schedule in trace time (identical across protocols).
@@ -475,6 +561,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         ),
         invalidation_time_max=max(inval_times) if inval_times else 0.0,
         invalidations_sent=server.invalidations_sent,
+        sitelist_evictions=server.table.evictions,
         origin_requests=server.requests_handled,
         origin_replies_200=server.replies_200,
         origin_replies_304=server.replies_304,
@@ -484,6 +571,41 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         ),
         wall_time=wall_time,
     )
+    if cluster is not None:
+        routed = [cluster.requests_routed[s.address] for s in cluster.shards]
+        mean_routed = sum(routed) / len(routed) if routed else 0.0
+        result.cluster = {
+            "shards": config.shards,
+            "batch_window": config.batch_window,
+            "batch_max": config.batch_max,
+            "per_shard": {
+                s.address: {
+                    "requests_routed": cluster.requests_routed[s.address],
+                    "requests_handled": s.requests_handled,
+                    "replies_200": s.replies_200,
+                    "replies_304": s.replies_304,
+                    "invalidations_sent": s.invalidations_sent,
+                    "batches_sent": s.batches_sent,
+                    "batched_invalidations": s.batched_invalidations,
+                    "sitelist_entries": s.table.total_entries(),
+                    "sitelist_storage_bytes": s.table.storage_bytes(),
+                    "sitelist_evictions": s.table.evictions,
+                }
+                for s in cluster.shards
+            },
+            "max_requests_routed": max(routed) if routed else 0,
+            "mean_requests_routed": mean_routed,
+            "imbalance_ratio": (
+                max(routed) / mean_routed if mean_routed else 0.0
+            ),
+            "handoffs": cluster.handoffs,
+            "shard_crashes": cluster.shard_crashes,
+            "rebalances": cluster.rebalances,
+            "batches_delivered": stats.batches(CATEGORY_INVALIDATE),
+            "batched_invalidations_delivered": stats.batched_payloads(
+                CATEGORY_INVALIDATE
+            ),
+        }
     if auditor is not None or injector is not None:
         chaos = auditor.report() if auditor is not None else {}
         chaos["network"] = {

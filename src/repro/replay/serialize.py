@@ -94,6 +94,12 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
     }
     if result.chaos is not None:
         data["chaos"] = result.chaos
+    # New-in-cluster fields are emitted only when set, so digests of
+    # pre-cluster single-accelerator runs stay byte-identical.
+    if result.sitelist_evictions:
+        data["sitelist_evictions"] = result.sitelist_evictions
+    if result.cluster is not None:
+        data["cluster"] = result.cluster
     return data
 
 
@@ -178,7 +184,11 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
         }
     counters = _counters_from_dict(data["counters"], restore)
     return ExperimentResult(
-        counters=counters, chaos=data.get("chaos"), **scalars
+        counters=counters,
+        chaos=data.get("chaos"),
+        sitelist_evictions=data.get("sitelist_evictions", 0),
+        cluster=data.get("cluster"),
+        **scalars,
     )
 
 

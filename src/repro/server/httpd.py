@@ -250,9 +250,12 @@ class ServerSite:
             # expired").  The clock-skew grace keeps recently-expired
             # entries around: a client whose clock lags may still honour
             # the lease, so it must still be invalidated.
-            self.table.site_list(request.url).purge_expired(
-                now - self.accel.lease_grace
-            )
+            cutoff = now - self.accel.lease_grace
+            self.table.purge_url(request.url, cutoff)
+            # Amortized sweep over the rest of the table: without it, a
+            # site that never reconnects keeps its expired entries (and
+            # its document's list object) alive for the whole run.
+            self.table.evict_round(cutoff)
         # Zero-duration leases (the two-tier first tier) normally skip
         # registration; under a clock-skew grace the server still remembers
         # the site for the grace window, because a client whose clock runs

@@ -13,8 +13,9 @@ Storage accounting follows the paper's observation that site lists cost
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["SiteEntry", "SiteList", "InvalidationTable", "KnownSitesLog", "ENTRY_BYTES"]
 
@@ -106,6 +107,14 @@ class InvalidationTable:
         #: Historical max length of each modified URL's site list at the
         #: moment of its modifications.
         self._lengths_at_modification: List[int] = []
+        #: Expired entries dropped over this table's lifetime (the
+        #: lease-grace eviction counter the results layer surfaces).
+        self.evictions = 0
+        #: Round-robin rotation of known URLs for the amortized
+        #: :meth:`evict_round` sweep (sites that never reconnect never
+        #: touch their own list, so somebody else has to).
+        self._rotation: Deque[str] = deque()
+        self._in_rotation: set = set()
 
     def site_list(self, url: str) -> SiteList:
         """The (possibly empty, auto-created) site list for ``url``."""
@@ -113,6 +122,9 @@ class InvalidationTable:
         if lst is None:
             lst = SiteList()
             self._lists[url] = lst
+            if url not in self._in_rotation:
+                self._in_rotation.add(url)
+                self._rotation.append(url)
         return lst
 
     def register(
@@ -143,6 +155,53 @@ class InvalidationTable:
     def purge_expired(self, now: float) -> int:
         """Purge expired leases everywhere; returns total dropped."""
         return sum(lst.purge_expired(now) for lst in self._lists.values())
+
+    def purge_url(self, url: str, cutoff: float) -> int:
+        """Lease-grace eviction for one URL's list; returns entries dropped.
+
+        Unlike the raw ``SiteList.purge_expired``, this counts the drops
+        in :attr:`evictions` and reclaims the list object itself once it
+        is empty (``site_list`` re-creates on demand), so a document whose
+        clients all went away stops costing table space.
+        """
+        lst = self._lists.get(url)
+        if lst is None:
+            return 0
+        dropped = lst.purge_expired(cutoff)
+        self.evictions += dropped
+        if not len(lst):
+            del self._lists[url]
+            self._in_rotation.discard(url)
+        return dropped
+
+    def evict_round(self, cutoff: float, budget: int = 8) -> int:
+        """Amortized lease-grace sweep: purge up to ``budget`` URL lists.
+
+        The bugfix for unbounded site-list growth: a site that never
+        reconnects never touches its own list, so lazy purge-on-touch
+        alone lets its expired entries live forever.  Each call visits the
+        next ``budget`` URLs in a round-robin rotation and evicts entries
+        whose lease expired before ``cutoff`` (``now - lease_grace``).
+        Pure memory work — no simulated time is consumed — so calling it
+        from the request path cannot perturb event timing.
+        """
+        dropped = 0
+        for _ in range(min(budget, len(self._rotation))):
+            url = self._rotation.popleft()
+            lst = self._lists.get(url)
+            if lst is None:
+                # Stale rotation entry (list already reclaimed elsewhere).
+                self._in_rotation.discard(url)
+                continue
+            count = lst.purge_expired(cutoff)
+            self.evictions += count
+            dropped += count
+            if len(lst):
+                self._rotation.append(url)
+            else:
+                del self._lists[url]
+                self._in_rotation.discard(url)
+        return dropped
 
     # -- Table 5 statistics ---------------------------------------------------
 

@@ -13,7 +13,7 @@ import pytest
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CHECKER = os.path.join(REPO, "tools", "check_markdown_links.py")
 
-#: The eight documentation pages docs/index.md must link.
+#: The documentation pages docs/index.md must link.
 DOCS_PAGES = (
     "architecture.md",
     "protocols.md",
@@ -23,6 +23,8 @@ DOCS_PAGES = (
     "chaos.md",
     "performance.md",
     "observability.md",
+    "api.md",
+    "cluster.md",
 )
 
 
